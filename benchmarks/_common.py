@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports (plus the paper's own numbers where
+available, for side-by-side reading).  The rendered tables are also saved
+under ``benchmarks/results/`` so a run leaves a durable artifact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Program sizes default to 1/8 of the paper's (the series keys stay in paper
+MB); freeze-time benchmarks run at full scale.  See EXPERIMENTS.md for the
+scaling methodology and the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def series_table(headers, series_by_label):
+    """Render {label: [(x, y), ...]} as rows of x followed by each label."""
+    from repro.metrics.report import format_table
+
+    labels = list(series_by_label)
+    xs = [x for x, _ in series_by_label[labels[0]]]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series_by_label[label][i][1] for label in labels])
+    return format_table(list(headers) + labels, rows)

@@ -1,0 +1,31 @@
+"""Figure 10: migration of processes with small working sets (section 5.6).
+
+DGEMM allocates 575 MB but works on 115-575 MB.  Paper: AMPoM fetches only
+the working set, so it finishes faster than openMosix everywhere and the
+curves converge at a full working set.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+from ._common import emit, series_table
+
+
+def bench_fig10_working_set(benchmark):
+    f10 = benchmark.pedantic(
+        lambda: figures.figure10(scale=figures.DEFAULT_SCALE), rounds=1, iterations=1
+    )
+    emit("fig10_working_set", series_table(["WS MB"], f10))
+
+    ampom = dict(f10["AMPoM"])
+    openmosix = dict(f10["openMosix"])
+    # AMPoM wins outright below a full working set.
+    for ws in (115, 230, 345, 460):
+        assert ampom[ws] < openmosix[ws], ws
+    # Convergence at the full working set.
+    assert abs(ampom[575] - openmosix[575]) / openmosix[575] < 0.1
+    # AMPoM's time grows with the working set (it transfers only what is
+    # used — no excessive prefetching).
+    times = [t for _, t in f10["AMPoM"]]
+    assert times == sorted(times)

@@ -1,0 +1,31 @@
+"""Figure 11: overheads of AMPoM (section 5.7).
+
+Time spent determining the dependent zone as a percentage of total
+execution time.  Paper: below 0.6% in all cases, nearly all below 0.25%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+from repro.metrics.report import format_table
+
+from ._common import emit
+
+
+def bench_fig11_overhead(benchmark):
+    matrix = benchmark.pedantic(
+        lambda: figures.run_matrix(schemes=("AMPoM",), scale=figures.DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    f11 = figures.figure11(matrix)
+    rows = []
+    for kernel, series in f11.items():
+        for mb, pct in series:
+            rows.append([kernel, mb, pct])
+    emit("fig11_overhead_pct", format_table(["kernel", "MB", "overhead %"], rows))
+
+    all_pcts = [pct for series in f11.values() for _, pct in series]
+    assert max(all_pcts) < 0.6  # paper's hard bound
+    below_quarter = sum(1 for p in all_pcts if p < 0.25)
+    assert below_quarter / len(all_pcts) >= 0.75  # "nearly all" < 0.25%

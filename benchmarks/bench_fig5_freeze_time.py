@@ -1,0 +1,38 @@
+"""Figure 5: migration freeze time of AMPoM, openMosix, and NoPrefetch.
+
+Freeze time depends only on the address-space size and the link, so this
+benchmark runs at the paper's **full program sizes**.
+
+Paper reference points (section 5.2, 575 MB DGEMM):
+AMPoM 0.6 s, openMosix 53.9 s, NoPrefetch 0.07 s.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+from ._common import emit, series_table
+
+
+def bench_fig5_freeze_time(benchmark):
+    f5 = benchmark.pedantic(figures.figure5_full_scale, rounds=1, iterations=1)
+    for kernel, schemes in f5.items():
+        text = series_table(["MB"], schemes)
+        emit(f"fig5_freeze_{kernel}", text)
+
+    for kernel, schemes in f5.items():
+        ampom = [t for _, t in schemes["AMPoM"]]
+        openmosix = [t for _, t in schemes["openMosix"]]
+        noprefetch = [t for _, t in schemes["NoPrefetch"]]
+        # Ordering holds everywhere: NoPrefetch < AMPoM << openMosix.
+        assert all(n < a < o for n, a, o in zip(noprefetch, ampom, openmosix))
+        # openMosix and AMPoM grow ~linearly; NoPrefetch is flat.
+        assert openmosix[-1] / openmosix[0] > 3
+        assert ampom[-1] > ampom[0]
+        assert max(noprefetch) / min(noprefetch) < 1.05
+
+    # The paper's headline magnitudes at 575 MB DGEMM.
+    dgemm = {s: dict(series) for s, series in f5["DGEMM"].items()}
+    assert 0.3 < dgemm["AMPoM"][575] < 1.2  # paper: 0.6 s
+    assert 35 < dgemm["openMosix"][575] < 70  # paper: 53.9 s
+    assert dgemm["NoPrefetch"][575] < 0.12  # paper: 0.07 s

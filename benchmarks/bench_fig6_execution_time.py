@@ -1,0 +1,33 @@
+"""Figure 6: total execution time of HPCC under the three schemes.
+
+Paper shapes: AMPoM tracks openMosix within a few percent (RandomAccess is
+the worst case); NoPrefetch lags by 20-51% on the largest runs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+from ._common import emit, series_table
+
+
+def bench_fig6_execution_time(benchmark):
+    matrix = benchmark.pedantic(
+        lambda: figures.run_matrix(scale=figures.DEFAULT_SCALE), rounds=1, iterations=1
+    )
+    f6 = figures.figure6(matrix)
+    for kernel, schemes in f6.items():
+        emit(f"fig6_exec_{kernel}", series_table(["MB"], schemes))
+
+    for kernel, schemes in f6.items():
+        ampom = dict(schemes["AMPoM"])
+        openmosix = dict(schemes["openMosix"])
+        noprefetch = dict(schemes["NoPrefetch"])
+        largest = max(ampom)
+        # NoPrefetch clearly lags on the largest run (paper: +20-51%).
+        assert noprefetch[largest] > openmosix[largest] * 1.12, kernel
+        # AMPoM stays within ~10% of openMosix at reporting scale.
+        ratio = ampom[largest] / openmosix[largest]
+        assert 0.85 < ratio < 1.12, (kernel, ratio)
+        # AMPoM beats NoPrefetch everywhere.
+        assert all(ampom[mb] < noprefetch[mb] for mb in ampom), kernel

@@ -1,0 +1,48 @@
+"""Figure 7: number of page fault requests, AMPoM vs NoPrefetch.
+
+Paper: AMPoM prevents 98/99/85/97% of the requests on the largest
+DGEMM/STREAM/RandomAccess/FFT runs (section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+from ._common import emit, series_table
+
+
+def bench_fig7_page_faults(benchmark):
+    matrix = benchmark.pedantic(
+        lambda: figures.run_matrix(
+            schemes=("AMPoM", "NoPrefetch"), scale=figures.DEFAULT_SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    f7 = figures.figure7(matrix)
+    for kernel, schemes in f7.items():
+        emit(f"fig7_faults_{kernel}", series_table(["MB"], schemes))
+
+    prevented = {}
+    for kernel, schemes in f7.items():
+        ampom = dict(schemes["AMPoM"])
+        noprefetch = dict(schemes["NoPrefetch"])
+        largest = max(ampom)
+        prevented[kernel] = 100.0 * (1 - ampom[largest] / noprefetch[largest])
+        # NoPrefetch requests grow with program size (one per first touch).
+        sizes = sorted(noprefetch)
+        counts = [noprefetch[mb] for mb in sizes]
+        assert counts == sorted(counts)
+
+    emit(
+        "fig7_prevented_pct",
+        "\n".join(
+            f"{k:14s} prevented={v:5.1f}%  (paper: {p}%)"
+            for (k, v), p in zip(prevented.items(), (98, 99, 85, 97))
+        ),
+    )
+    assert prevented["DGEMM"] > 95
+    assert prevented["STREAM"] > 95
+    assert prevented["RandomAccess"] > 60  # paper: 85%
+    assert prevented["FFT"] > 90  # paper: 97%
+    assert prevented["RandomAccess"] == min(prevented.values())

@@ -1,0 +1,34 @@
+"""Figure 8: prefetched pages per page fault (AMPoM's aggressiveness).
+
+Paper shape: STREAM draws by far the deepest prefetching (highest paging
+rate), DGEMM and FFT considerably less *relative to their fault volume*,
+RandomAccess the least (pattern unclear -> baseline read-ahead only).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+from repro.metrics.report import format_table
+
+from ._common import emit
+
+
+def bench_fig8_prefetch_aggressiveness(benchmark):
+    matrix = benchmark.pedantic(
+        lambda: figures.run_matrix(schemes=("AMPoM",), scale=figures.DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    f8 = figures.figure8(matrix)
+    rows = []
+    for kernel, series in f8.items():
+        for mb, v in series:
+            rows.append([kernel, mb, v])
+    emit("fig8_prefetched_per_fault", format_table(["kernel", "MB", "pages/fault"], rows))
+
+    largest = {k: v[-1][1] for k, v in f8.items()}
+    assert largest["RandomAccess"] == min(largest.values())
+    assert largest["STREAM"] > 5 * largest["RandomAccess"]
+    assert largest["STREAM"] > largest["FFT"]
+    # RandomAccess retains a small read-ahead baseline (section 5.3).
+    assert largest["RandomAccess"] > 1.0

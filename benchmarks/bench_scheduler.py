@@ -1,0 +1,57 @@
+"""Section 7's outlook, quantified: aggressive load balancing on cheap
+migrations.
+
+"New scheduling policies can make use of AMPoM on openMosix to perform
+more aggressive migrations since the performance penalty of suboptimal
+decisions has been dramatically decreased."  The same greedy balancer is
+run with the openMosix and the AMPoM migration cost models; the AMPoM
+model should migrate at least as eagerly while losing far less time to
+freezes, improving the makespan of an imbalanced task mix.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.scheduler import ClusterScheduler, Task
+from repro.config import SimulationConfig
+from repro.metrics.report import format_table
+from repro.sim import Simulator
+from repro.units import mib
+
+from ._common import emit
+
+
+def _run(freeze_model: str):
+    sim = Simulator()
+    config = SimulationConfig()
+    cluster = Cluster(sim, config, node_names=["n1", "n2", "n3", "n4"])
+    tasks = [
+        Task(name=f"t{i}", cpu_seconds=4.0, memory_bytes=mib(256), node="n1")
+        for i in range(12)
+    ]
+    sched = ClusterScheduler(
+        sim, cluster, tasks, config, freeze_model=freeze_model, balance_interval=0.5
+    )
+    return sched.run()
+
+
+def _sweep():
+    return {model: _run(model) for model in ("none", "ampom", "openmosix")}
+
+
+def bench_scheduler(benchmark):
+    reports = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "scheduler_aggressive_migration",
+        format_table(
+            ["freeze model", "makespan s", "migrations", "frozen s"],
+            [
+                [m, r.makespan, r.migrations, r.total_frozen_time]
+                for m, r in reports.items()
+            ],
+        ),
+    )
+    assert reports["ampom"].total_frozen_time < reports["openmosix"].total_frozen_time / 5
+    assert reports["ampom"].makespan <= reports["openmosix"].makespan
+    # The zero-cost model bounds what balancing can achieve.
+    assert reports["none"].makespan <= reports["ampom"].makespan + 0.5

@@ -1,0 +1,26 @@
+"""Table 1: problem and memory sizes of HPCC (paper section 5.1).
+
+Regenerates the table at full scale, extended with each configuration's
+page count and the master-page-table size AMPoM ships during the freeze.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table1
+from repro.metrics.report import format_table
+
+from ._common import emit
+
+
+def bench_table1(benchmark):
+    rows = benchmark.pedantic(lambda: table1(scale=1.0), rounds=1, iterations=1)
+    text = format_table(
+        ["kernel", "problem size", "memory (MB)", "data pages", "MPT bytes"],
+        [[r.kernel, r.problem_size, r.memory_mb, r.data_pages, r.mpt_bytes] for r in rows],
+    )
+    emit("table1_hpcc_sizes", text)
+    assert len(rows) == 18
+    by = {(r.kernel, r.memory_mb): r for r in rows}
+    # 575 MB is ~147k pages -> ~0.86 MB of MPT (paper: 6 B/page).
+    assert by[("DGEMM", 575)].data_pages > 140_000
+    assert by[("DGEMM", 575)].mpt_bytes == by[("DGEMM", 575)].data_pages * 6

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Migrating a virtual machine: multi-process access streams (section 7).
+
+A VM's fault stream interleaves its guest processes' accesses.  This
+example migrates a six-guest VM and compares the paper's single-window
+AMPoM against the VM-tailored variant that keeps one lookback window per
+guest process — the extension the paper proposes as future work.
+
+Run:  python examples/vm_migration.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    AmpomMigration,
+    MigrationRun,
+    MultiProcessWorkload,
+    NoPrefetchMigration,
+    SimulationConfig,
+    VmAmpomPrefetcher,
+    mib,
+)
+from repro.metrics.report import format_table
+from repro.workloads.synthetic import SequentialWorkload
+
+
+def make_vm() -> MultiProcessWorkload:
+    # Six guest processes, scheduled one page-reference at a time.
+    return MultiProcessWorkload(
+        [SequentialWorkload(mib(4), sweeps=2) for _ in range(6)], slice_refs=1
+    )
+
+
+def config(min_zone_pages: int) -> SimulationConfig:
+    base = SimulationConfig()
+    return base.with_(ampom=replace(base.ampom, min_zone_pages=min_zone_pages))
+
+
+def main() -> None:
+    rows = []
+    variants = [
+        ("NoPrefetch", NoPrefetchMigration(), config(0), None),
+        ("AMPoM, single window (eq. 3 only)", AmpomMigration(), config(0), None),
+        ("VM-AMPoM, per-guest windows", None, config(0), "vm"),
+        ("AMPoM + read-ahead floor", AmpomMigration(), config(8), None),
+    ]
+    for name, strategy, cfg, special in variants:
+        workload = make_vm()
+        if special == "vm":
+            strategy = AmpomMigration(
+                policy_factory=lambda ctx: VmAmpomPrefetcher(
+                    ctx.ampom, ctx.hardware, workload.process_boundaries()
+                )
+            )
+        result = MigrationRun(workload, strategy, config=cfg).execute()
+        c = result.counters
+        rows.append(
+            [name, c.page_fault_requests, c.pages_prefetched, result.total_time]
+        )
+
+    print("Six sequential guest processes, round-robin one reference each:\n")
+    print(format_table(["variant", "fault requests", "prefetched", "total s"], rows))
+    print(
+        "\nWith six interleaved streams, same-stream references sit six"
+        "\npositions apart — beyond dmax=4 — so the published algorithm's"
+        "\nstride detection goes blind.  Per-guest windows (the paper's"
+        "\nsection-7 proposal) recover it; so does the kernel's swap-in"
+        "\nread-ahead floor for forward-sequential guests."
+    )
+
+
+if __name__ == "__main__":
+    main()

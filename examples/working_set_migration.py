@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Small-working-set migration: where AMPoM wins outright (section 5.6).
+
+An interactive-style process allocates far more memory than it touches
+after migration (think of a GUI application or a VM).  openMosix must ship
+the whole dirty allocation during the freeze; AMPoM ships three pages plus
+the page table and then fetches *only the working set*.
+
+Run:  python examples/working_set_migration.py
+"""
+
+from repro import (
+    AmpomMigration,
+    MigrationRun,
+    OpenMosixMigration,
+    WorkingSetDgemmWorkload,
+    mib,
+)
+from repro.metrics.report import format_table
+
+ALLOCATED_MB = 144  # quarter of the paper's 575 MB experiment
+WORKING_SETS_MB = (29, 58, 86, 115, 144)
+
+
+def main() -> None:
+    rows = []
+    for ws_mb in WORKING_SETS_MB:
+        times = {}
+        moved = {}
+        for name, factory in (("openMosix", OpenMosixMigration), ("AMPoM", AmpomMigration)):
+            workload = WorkingSetDgemmWorkload(
+                memory_bytes=mib(ALLOCATED_MB), working_set_bytes=mib(ws_mb)
+            )
+            run = MigrationRun(workload, factory())
+            result = run.execute()
+            times[name] = result.total_time
+            c = result.counters
+            moved[name] = (
+                run.outcome.bytes_transferred
+                + (c.pages_demand_fetched + c.pages_prefetched) * 4096
+            ) / mib(1)
+        rows.append(
+            [
+                ws_mb,
+                times["openMosix"],
+                times["AMPoM"],
+                moved["openMosix"],
+                moved["AMPoM"],
+            ]
+        )
+
+    print(f"DGEMM allocating {ALLOCATED_MB} MiB, touching only its working set:\n")
+    print(
+        format_table(
+            ["WS MiB", "openMosix s", "AMPoM s", "openMosix MiB moved", "AMPoM MiB moved"],
+            rows,
+        )
+    )
+    print(
+        "\nAMPoM transfers only what the migrant actually uses, so it wins"
+        "\neverywhere below a full working set and converges at 100% — the"
+        "\npaper's figure 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(offline environment): setuptools' develop-mode path needs only this file.
+"""
+
+from setuptools import setup
+
+setup()

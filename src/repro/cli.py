@@ -1,0 +1,237 @@
+"""Command-line interface: run migrations and regenerate paper artifacts.
+
+Examples
+--------
+::
+
+    python -m repro run --kernel DGEMM --mb 115 --scheme AMPoM
+    python -m repro run --kernel STREAM --mb 230 --scheme NoPrefetch --broadband
+    python -m repro freeze --kernel DGEMM --mb 575 --scheme openMosix
+    python -m repro figure 5
+    python -m repro figure 10 --scale 0.125
+    python -m repro table1
+    python -m repro headline --scale 0.0625
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .config import NetworkSpec
+from .cluster.runner import MigrationRun
+from .experiments import figures, tables
+from .metrics.report import format_table
+from .workloads.hpcc import hpcc_workload
+
+KERNEL_CHOICES = figures.KERNELS
+SCHEME_CHOICES = figures.SCHEMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AMPoM reproduction: lightweight process migration and "
+        "memory prefetching in openMosix (IPDPS 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one migration experiment")
+    run.add_argument("--kernel", choices=KERNEL_CHOICES, required=True)
+    run.add_argument("--mb", type=float, required=True, help="program size in paper MB")
+    run.add_argument("--scheme", choices=SCHEME_CHOICES, required=True)
+    run.add_argument(
+        "--scale", type=float, default=figures.DEFAULT_SCALE, help="size scale factor"
+    )
+    run.add_argument(
+        "--broadband",
+        action="store_true",
+        help="use the section-5.5 broadband network (6 Mb/s, 2 ms)",
+    )
+    run.add_argument(
+        "--capacity-pages",
+        type=int,
+        default=None,
+        help="destination RAM limit (enables the LRU memory-pressure model)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--json", action="store_true", help="emit the result as a JSON object"
+    )
+
+    freeze = sub.add_parser(
+        "freeze", help="measure only the migration freeze (full scale)"
+    )
+    freeze.add_argument("--kernel", choices=KERNEL_CHOICES, required=True)
+    freeze.add_argument("--mb", type=float, required=True)
+    freeze.add_argument("--scheme", choices=SCHEME_CHOICES, required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one figure's series")
+    figure.add_argument("number", type=int, choices=(5, 6, 7, 8, 9, 10, 11))
+    figure.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
+
+    sub.add_parser("table1", help="print table 1 (HPCC sizes)")
+
+    export = sub.add_parser(
+        "export", help="write all figure series to a long-format CSV"
+    )
+    export.add_argument("path", help="output CSV path")
+    export.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
+
+    headline = sub.add_parser("headline", help="print the headline-claim summary")
+    headline.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = figures.scaled_config(args.scale, seed=args.seed)
+    if args.broadband:
+        config = config.with_network(NetworkSpec.broadband())
+    workload = hpcc_workload(args.kernel, args.mb, scale=args.scale)
+    run = MigrationRun(
+        workload,
+        figures.make_strategy(args.scheme),
+        config=config,
+        capacity_pages=args.capacity_pages,
+    )
+    result = run.execute()
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    c = result.counters
+    print(f"kernel          : {args.kernel} ({args.mb:g} paper-MB x {args.scale:g})")
+    print(f"scheme          : {args.scheme}")
+    print(f"freeze time     : {result.freeze_time:.4f} s")
+    print(f"run time        : {result.run_time:.4f} s")
+    print(f"total time      : {result.total_time:.4f} s")
+    print(f"fault requests  : {c.page_fault_requests}")
+    print(f"pages prefetched: {c.pages_prefetched}")
+    print(f"pages evicted   : {c.pages_evicted}")
+    for bucket, seconds in result.budget.as_dict().items():
+        print(f"  {bucket:9s}: {seconds:.4f} s")
+    return 0
+
+
+def _cmd_freeze(args: argparse.Namespace) -> int:
+    t = figures.freeze_time(args.kernel, args.mb, args.scheme)
+    print(f"{args.scheme} freeze time for {args.kernel} at {args.mb:g} MB: {t:.4f} s")
+    return 0
+
+
+def _print_series(title: str, by_label: dict) -> None:
+    print(f"\n{title}")
+    labels = list(by_label)
+    xs = [x for x, _ in by_label[labels[0]]]
+    rows = [[x] + [by_label[lbl][i][1] for lbl in labels] for i, x in enumerate(xs)]
+    print(format_table(["MB"] + labels, rows))
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    n = args.number
+    if n == 5:
+        data = figures.figure5_full_scale()
+        for kernel, schemes in data.items():
+            _print_series(f"Figure 5 ({kernel}) — freeze time, s (full scale)", schemes)
+        return 0
+    if n == 9:
+        data = figures.figure9(scale=args.scale)
+        rows = []
+        for label, nets in data.items():
+            for net, schemes in nets.items():
+                rows.append([label, net, schemes["AMPoM"], schemes["NoPrefetch"]])
+        print("Figure 9 — % increase in execution time vs openMosix")
+        print(format_table(["workload", "network", "AMPoM %", "NoPrefetch %"], rows))
+        return 0
+    if n == 10:
+        data = figures.figure10(scale=args.scale)
+        _print_series("Figure 10 — working-set DGEMM, total s", data)
+        return 0
+
+    matrix = figures.run_matrix(scale=args.scale)
+    if n == 6:
+        for kernel, schemes in figures.figure6(matrix).items():
+            _print_series(f"Figure 6 ({kernel}) — total execution time, s", schemes)
+    elif n == 7:
+        for kernel, schemes in figures.figure7(matrix).items():
+            _print_series(f"Figure 7 ({kernel}) — page fault requests", schemes)
+    elif n == 8:
+        rows = [
+            [kernel, mb, v]
+            for kernel, series in figures.figure8(matrix).items()
+            for mb, v in series
+        ]
+        print("Figure 8 — prefetched pages per page fault")
+        print(format_table(["kernel", "MB", "pages/fault"], rows))
+    elif n == 11:
+        rows = [
+            [kernel, mb, v]
+            for kernel, series in figures.figure11(matrix).items()
+            for mb, v in series
+        ]
+        print("Figure 11 — AMPoM analysis overhead, %")
+        print(format_table(["kernel", "MB", "overhead %"], rows))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = tables.table1(scale=1.0)
+    print(
+        format_table(
+            ["kernel", "problem size", "memory MB", "data pages", "MPT bytes"],
+            [[r.kernel, r.problem_size, r.memory_mb, r.data_pages, r.mpt_bytes] for r in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    claims = figures.headline_claims(figures.run_matrix(scale=args.scale))
+    rows = [
+        [
+            kernel,
+            m["freeze_avoided_pct"],
+            m["faults_prevented_pct"],
+            m["ampom_overhead_pct"],
+            m["noprefetch_penalty_pct"],
+        ]
+        for kernel, m in claims.items()
+    ]
+    print(
+        format_table(
+            ["kernel", "freeze avoided %", "faults prevented %", "AMPoM ovh %", "NoPrefetch +%"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.export import export_figures_csv
+
+    out = export_figures_csv(args.path, scale=args.scale)
+    print(f"wrote {out}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "freeze": _cmd_freeze,
+    "figure": _cmd_figure,
+    "table1": _cmd_table1,
+    "headline": _cmd_headline,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Cluster assembly and end-to-end experiment drivers.
+
+:class:`repro.cluster.runner.MigrationRun` is the main entry point of the
+library: workload + migration strategy + configuration in, an
+:class:`repro.migration.executor.ExecutionResult` out.
+"""
+
+from .cluster import Cluster
+from .gossip import GossipLoadMap
+from .loadgen import BackgroundLoad
+from .multi import MultiMigrationRun
+from .runner import MigrationRun
+from .scheduler import ClusterScheduler, SchedulerReport, Task
+
+__all__ = [
+    "BackgroundLoad",
+    "Cluster",
+    "GossipLoadMap",
+    "ClusterScheduler",
+    "MigrationRun",
+    "MultiMigrationRun",
+    "SchedulerReport",
+    "Task",
+]

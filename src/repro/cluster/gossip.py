@@ -1,0 +1,126 @@
+"""openMosix-style probabilistic load dissemination.
+
+openMosix has no central coordinator (the paper's introduction argues this
+is precisely why process migration suits decentralized systems): every
+node's information daemon periodically sends its own load — plus a random
+subset of what it knows about others — to a *randomly chosen* node.  Each
+node therefore holds a bounded, slightly stale load vector, and migration
+decisions are taken locally against that partial view.
+
+:class:`GossipLoadMap` reproduces the protocol on the simulated network
+(the load updates are real messages on the links), and
+:class:`repro.cluster.scheduler.ClusterScheduler` can balance from these
+decentralized views instead of its omniscient default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..net.message import Message, MessageKind
+from ..sim import Simulator, Timeout
+from ..sim.rng import child_rng
+from .cluster import Cluster
+
+
+@dataclass(slots=True)
+class LoadEntry:
+    """One node's knowledge about another node's load."""
+
+    load: int
+    #: Simulated time the sample was taken at its origin.
+    sampled_at: float
+
+
+class GossipLoadMap:
+    """Per-node partial load vectors, maintained by random gossip."""
+
+    #: Wire size of one load update (openMosix load info is tiny).
+    UPDATE_BYTES = 64
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        load_of: Callable[[str], int],
+        interval: float = 1.0,
+        fanout_entries: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive: {interval}")
+        if fanout_entries < 1:
+            raise ConfigurationError(f"fanout_entries must be >= 1: {fanout_entries}")
+        self.sim = sim
+        self.cluster = cluster
+        self.load_of = load_of
+        self.interval = interval
+        self.fanout_entries = fanout_entries
+        self._names = sorted(cluster.nodes)
+        if len(self._names) < 2:
+            raise ConfigurationError("gossip needs at least two nodes")
+        self._rng = child_rng(seed, "gossip")
+        #: views[node][other] -> LoadEntry
+        self.views: dict[str, dict[str, LoadEntry]] = {n: {} for n in self._names}
+        self.updates_sent = 0
+        self._procs = [
+            sim.spawn(self._daemon(name), name=f"gossip@{name}") for name in self._names
+        ]
+
+    # ------------------------------------------------------------------
+    def _daemon(self, name: str):
+        # Desynchronize daemons deterministically.
+        yield Timeout(float(self._rng.uniform(0.0, self.interval)))
+        while True:
+            self._send_update(name)
+            yield Timeout(self.interval)
+
+    def _send_update(self, sender: str) -> None:
+        peers = [n for n in self._names if n != sender]
+        target = peers[int(self._rng.integers(0, len(peers)))]
+        # Own fresh sample plus a random subset of known entries.
+        payload: dict[str, LoadEntry] = {
+            sender: LoadEntry(self.load_of(sender), self.sim.now)
+        }
+        known = list(self.views[sender].items())
+        if known:
+            take = min(self.fanout_entries - 1, len(known))
+            idx = self._rng.permutation(len(known))[:take]
+            for i in idx:
+                node, entry = known[int(i)]
+                if node != target:
+                    payload[node] = entry
+        message = Message(
+            kind=MessageKind.LOAD_UPDATE,
+            src=sender,
+            dst=target,
+            payload_bytes=self.UPDATE_BYTES,
+            body=payload,
+        )
+        self.cluster.network.send(message, self._deliver)
+        self.updates_sent += 1
+
+    def _deliver(self, message: Message, _arrival: float) -> None:
+        view = self.views[message.dst]
+        for node, entry in message.body.items():
+            if node == message.dst:
+                continue
+            current = view.get(node)
+            if current is None or entry.sampled_at > current.sampled_at:
+                view[node] = entry
+
+    # ------------------------------------------------------------------
+    def view(self, node: str) -> dict[str, int]:
+        """``{other_node: believed_load}`` as known at ``node`` right now."""
+        return {other: entry.load for other, entry in self.views[node].items()}
+
+    def staleness(self, node: str, other: str) -> float | None:
+        """Age of ``node``'s knowledge about ``other`` (None if unknown)."""
+        entry = self.views[node].get(other)
+        return None if entry is None else self.sim.now - entry.sampled_at
+
+    def stop(self) -> None:
+        for proc in self._procs:
+            proc.interrupt()

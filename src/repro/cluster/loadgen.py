@@ -1,0 +1,54 @@
+"""Background load generator.
+
+Puts extra runnable processes on a node over scheduled windows, stretching
+the migrant's CPU share.  Used to exercise the ``c``/``c'`` terms of
+AMPoM's eq. 3 (the algorithm prefetches less when the process cannot
+consume pages quickly) and by the scheduler examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..node.node import Node
+from ..sim import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class LoadWindow:
+    """``n_procs`` CPU hogs on the node during [start, start + duration)."""
+
+    start: float
+    duration: float
+    n_procs: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0 or self.n_procs < 1:
+            raise ConfigurationError(f"invalid load window: {self}")
+
+
+class BackgroundLoad:
+    """Applies a schedule of load windows to a node."""
+
+    def __init__(self, sim: Simulator, node: Node, windows: list[LoadWindow]) -> None:
+        self.sim = sim
+        self.node = node
+        self.windows = list(windows)
+        for window in self.windows:
+            sim.schedule_at(window.start, self._acquire_n(window.n_procs))
+            sim.schedule_at(window.start + window.duration, self._release_n(window.n_procs))
+
+    def _acquire_n(self, n: int):
+        def apply() -> None:
+            for _ in range(n):
+                self.node.cpu.acquire()
+
+        return apply
+
+    def _release_n(self, n: int):
+        def apply() -> None:
+            for _ in range(n):
+                self.node.cpu.release()
+
+        return apply

@@ -1,0 +1,138 @@
+"""Concurrent multi-migrant scenarios: shared links, shared CPUs.
+
+The single-:class:`~repro.cluster.runner.MigrationRun` experiments isolate
+one migrant.  Real rebalancing events move several processes at once, and
+their remote paging then *competes* for the same links and CPUs:
+
+* bulk freezes and paging replies serialize on the shared home->dest
+  channel (the FIFO link model), so openMosix's big freezes queue behind
+  each other;
+* every migrant's oM_infoD measurement sees the shared congestion, so
+  AMPoM's horizon ``t`` grows and its pipelining deepens — the "prefetch
+  more aggressively when the network is busy" behaviour, now driven by
+  *other migrants'* traffic;
+* the destination CPU is proportionally shared, feeding the ``c``/``c'``
+  terms of eq. 3.
+
+:class:`MultiMigrationRun` launches one migrant per workload (optionally
+staggered) between a shared home and destination node and reports every
+:class:`~repro.migration.executor.ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import SimulationConfig
+from ..errors import MigrationError
+from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
+from ..migration.executor import ExecutionResult, MigrantExecutor
+from ..node.infod import InfoDaemon
+from ..sim import Simulator, Timeout
+from ..workloads.base import Workload
+from .cluster import Cluster
+
+HOME = "home"
+DEST = "dest"
+
+
+class MultiMigrationRun:
+    """Several migrants sharing one home->destination pair."""
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        strategy_factory,
+        config: SimulationConfig | None = None,
+        stagger_s: float = 0.0,
+        with_infod: bool = True,
+    ) -> None:
+        if not workloads:
+            raise MigrationError("need at least one workload")
+        if stagger_s < 0:
+            raise MigrationError(f"stagger_s must be non-negative: {stagger_s}")
+        self.workloads = list(workloads)
+        self.strategy_factory = strategy_factory
+        self.config = config if config is not None else SimulationConfig()
+        self.stagger_s = stagger_s
+        self.with_infod = with_infod
+
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, self.config, [HOME, DEST])
+        self.outcomes: list[MigrationOutcome | None] = [None] * len(self.workloads)
+        self.results: list[ExecutionResult | None] = [None] * len(self.workloads)
+        self.infod: InfoDaemon | None = None
+        self._executed = False
+
+    # ------------------------------------------------------------------
+    def _shared_infod(self) -> InfoDaemon:
+        if self.infod is None:
+            self.infod = InfoDaemon(
+                self.sim,
+                self.cluster.node(DEST),
+                to_home=self.cluster.network.direction(DEST, HOME),
+                from_home=self.cluster.network.direction(HOME, DEST),
+                config=self.config.infod,
+                min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
+            )
+        return self.infod
+
+    def _migrant(self, index: int, workload: Workload):
+        yield Timeout(index * self.stagger_s)
+        strategy: MigrationStrategy = self.strategy_factory()
+        space = workload.setup()
+        ctx = MigrationContext(
+            sim=self.sim,
+            network=self.cluster.network,
+            hardware=self.config.hardware,
+            ampom=self.config.ampom,
+            src=HOME,
+            dst=DEST,
+            address_space=space,
+            premigration_pages=workload.premigration_pages(),
+        )
+        outcome = strategy.perform(ctx)
+        self.outcomes[index] = outcome
+        infod = None
+        if self.with_infod and outcome.policy is not None:
+            infod = self._shared_infod()
+        yield Timeout(outcome.freeze_time)
+        executor = MigrantExecutor(
+            sim=self.sim,
+            workload=workload,
+            outcome=outcome,
+            node=self.cluster.node(DEST),
+            hardware=self.config.hardware,
+            infod=infod,
+        )
+        proc = executor.start()
+        result = yield proc
+        if proc.error is not None:
+            raise proc.error
+        self.results[index] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def execute(self) -> list[ExecutionResult]:
+        """Run all migrants to completion; returns their results in order."""
+        if self._executed:
+            raise MigrationError("MultiMigrationRun objects are single-use")
+        self._executed = True
+        procs = [
+            self.sim.spawn(self._migrant(i, w), name=f"migrant-{i}")
+            for i, w in enumerate(self.workloads)
+        ]
+        for proc in procs:
+            self.sim.run_until_complete(proc)
+        if self.infod is not None:
+            self.infod.stop()
+        assert all(r is not None for r in self.results)
+        return list(self.results)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Time until the last migrant finished."""
+        if not self._executed:
+            raise MigrationError("call execute() first")
+        return self.sim.now

@@ -1,0 +1,162 @@
+"""End-to-end migration experiment driver.
+
+Reproduces the paper's experimental procedure (section 5.1): the process
+allocates its memory on the home node (every data page dirty), migration is
+initiated immediately, and the kernel then executes to completion on the
+destination while its faults are served remotely.
+
+Example
+-------
+>>> from repro.cluster import MigrationRun
+>>> from repro.migration import AmpomMigration
+>>> from repro.workloads import StreamWorkload
+>>> from repro.units import mib
+>>> run = MigrationRun(StreamWorkload(mib(8), iterations=1), AmpomMigration())
+>>> result = run.execute()
+>>> result.freeze_time < 0.2
+True
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..errors import MigrationError
+from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
+from ..metrics.eventlog import FaultLog
+from ..migration.executor import ExecutionResult, MigrantExecutor
+from ..migration.ffa import FfaMigration
+from ..net.shaper import TrafficShaper
+from ..node.infod import InfoDaemon
+from ..sim import Simulator, Timeout
+from ..workloads.base import Workload
+
+HOME = "home"
+DEST = "dest"
+FILE_SERVER = "fs"
+
+
+class MigrationRun:
+    """One workload, one migration strategy, one measured execution."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        strategy: MigrationStrategy,
+        config: SimulationConfig | None = None,
+        with_infod: bool = True,
+        shaped_bandwidth_bps: float | None = None,
+        shaped_latency_s: float | None = None,
+        max_events: int | None = None,
+        capacity_pages: int | None = None,
+        fault_log: "FaultLog | None" = None,
+    ) -> None:
+        self.workload = workload
+        self.strategy = strategy
+        self.config = config if config is not None else SimulationConfig()
+        self.with_infod = with_infod
+        self.shaped_bandwidth_bps = shaped_bandwidth_bps
+        self.shaped_latency_s = shaped_latency_s
+        self.max_events = max_events
+        #: Optional destination RAM limit (pages); enables the LRU
+        #: memory-pressure model of the executor.
+        self.capacity_pages = capacity_pages
+        #: Optional per-fault event log (see repro.metrics.eventlog).
+        self.fault_log = fault_log
+
+        self.sim = Simulator()
+        node_names = [HOME, DEST]
+        if isinstance(strategy, FfaMigration):
+            node_names.append(FILE_SERVER)
+        from .cluster import Cluster  # local import to avoid a cycle
+
+        self.cluster = Cluster(self.sim, self.config, node_names)
+        self.outcome: MigrationOutcome | None = None
+        self.infod: InfoDaemon | None = None
+        self.result: ExecutionResult | None = None
+
+        if (shaped_bandwidth_bps is None) != (shaped_latency_s is None):
+            raise MigrationError(
+                "shaped_bandwidth_bps and shaped_latency_s must be set together"
+            )
+        if shaped_bandwidth_bps is not None:
+            # Section 5.5: tc/iptables shaping of the home<->dest link.
+            shaper = TrafficShaper(self.cluster.network.link_between(HOME, DEST))
+            shaper.apply(shaped_bandwidth_bps, shaped_latency_s)
+
+    # ------------------------------------------------------------------
+    def measure_freeze(self) -> MigrationOutcome:
+        """Perform only the migration freeze (no trace execution).
+
+        Figure 5 needs nothing but freeze times, which depend on the
+        address-space size and the link — not on the trace — so this runs
+        at full paper scale in milliseconds of wall time.
+        """
+        if self.result is not None or self.outcome is not None:
+            raise MigrationError("MigrationRun objects are single-use")
+        space = self.workload.setup()
+        ctx = MigrationContext(
+            sim=self.sim,
+            network=self.cluster.network,
+            hardware=self.config.hardware,
+            ampom=self.config.ampom,
+            src=HOME,
+            dst=DEST,
+            address_space=space,
+            premigration_pages=self.workload.premigration_pages(),
+            file_server=FILE_SERVER if isinstance(self.strategy, FfaMigration) else None,
+        )
+        self.outcome = self.strategy.perform(ctx)
+        return self.outcome
+
+    def execute(self) -> ExecutionResult:
+        """Run the whole scenario; returns the measured result."""
+        if self.result is not None or self.outcome is not None:
+            raise MigrationError("MigrationRun objects are single-use")
+        space = self.workload.setup()
+        ctx = MigrationContext(
+            sim=self.sim,
+            network=self.cluster.network,
+            hardware=self.config.hardware,
+            ampom=self.config.ampom,
+            src=HOME,
+            dst=DEST,
+            address_space=space,
+            premigration_pages=self.workload.premigration_pages(),
+            file_server=FILE_SERVER if isinstance(self.strategy, FfaMigration) else None,
+        )
+        main = self.sim.spawn(self._scenario(ctx), name="scenario")
+        result = self.sim.run_until_complete(main, max_events=self.max_events)
+        assert isinstance(result, ExecutionResult)
+        self.result = result
+        return result
+
+    def _scenario(self, ctx: MigrationContext):
+        outcome = self.strategy.perform(ctx)
+        self.outcome = outcome
+        if self.with_infod and outcome.policy is not None:
+            self.infod = InfoDaemon(
+                self.sim,
+                self.cluster.node(DEST),
+                to_home=self.cluster.network.direction(DEST, HOME),
+                from_home=self.cluster.network.direction(HOME, DEST),
+                config=self.config.infod,
+                min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
+            )
+        yield Timeout(outcome.freeze_time)
+        executor = MigrantExecutor(
+            sim=self.sim,
+            workload=self.workload,
+            outcome=outcome,
+            node=self.cluster.node(DEST),
+            hardware=self.config.hardware,
+            infod=self.infod,
+            capacity_pages=self.capacity_pages,
+            fault_log=self.fault_log,
+        )
+        proc = executor.start()
+        result = yield proc
+        if proc.error is not None:
+            raise proc.error
+        if self.infod is not None:
+            self.infod.stop()
+        return result

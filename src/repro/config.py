@@ -1,0 +1,172 @@
+"""Configuration dataclasses for hardware, network, and the AMPoM algorithm.
+
+The defaults reproduce the paper's testbed: the HKU Gideon 300 cluster
+(Pentium 4 2 GHz nodes, 512 MB RAM, Fast Ethernet) running openMosix
+2.4.26-1 (paper section 5.1), with the algorithm parameters of section 4
+(lookback window length 20, dmax = 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .errors import ConfigurationError
+from .units import MPT_ENTRY_BYTES, PAGE_SIZE, mbit_per_s, ms, us
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Per-node hardware model (Gideon 300 defaults).
+
+    ``cpu_hz`` is only used for reporting; per-workload compute costs are
+    expressed directly in seconds-per-page-reference (see
+    :mod:`repro.experiments.calibration`), because that is the quantity the
+    simulation consumes.
+    """
+
+    cpu_hz: float = 2.0e9
+    ram_bytes: int = 512 * 1024 * 1024
+    page_size: int = PAGE_SIZE
+    mpt_entry_bytes: int = MPT_ENTRY_BYTES
+    #: CPU time to copy one arrived (buffered) page into the address space.
+    page_copy_time: float = us(6.0)
+    #: CPU time charged per AMPoM dependent-zone analysis (figure 11 model).
+    analysis_time_per_fault: float = us(2.0)
+    #: Kernel time to process one MPT entry while installing the migrated
+    #: page table (calibrates AMPoM's linear freeze-time growth, fig. 5).
+    mpt_install_time_per_entry: float = us(3.0)
+    #: Fixed per-migration cost: capturing/restoring registers, the process
+    #: control block, socket setup etc.
+    migration_setup_time: float = ms(45.0)
+    #: Origin-node ("deputy") service time per remote paging request.
+    deputy_request_time: float = us(25.0)
+    #: Origin-node service time per page looked up and queued for sending.
+    deputy_page_time: float = us(8.0)
+    #: Extra wire-time-equivalent cost per remotely paged page (interrupts,
+    #: syscalls, and protocol framing on both ends).  Per-page remote
+    #: paging is less efficient than openMosix's bulk migration stream,
+    #: which is why AMPoM's total execution time ends up slightly *above*
+    #: openMosix's in figure 6 even though its transfers overlap compute.
+    remote_paging_overhead_bytes: int = 640
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ConfigurationError(f"page_size must be a positive power of two: {self.page_size}")
+        if self.ram_bytes <= 0:
+            raise ConfigurationError("ram_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point link model parameters.
+
+    Defaults model Fast Ethernet as deployed in the Gideon 300 cluster:
+    100 Mb/s with ~0.15 ms one-way latency.  The broadband scenario of
+    figure 9 is :func:`NetworkSpec.broadband` (6 Mb/s, 2 ms), produced in
+    the paper with ``tc``/``iptables`` traffic shaping.
+    """
+
+    bandwidth_bps: float = mbit_per_s(100.0)
+    latency_s: float = ms(0.15)
+    #: Fixed per-message wire overhead (headers, syscall, interrupt).
+    per_message_overhead_bytes: int = 66
+    #: Per-page protocol overhead on top of the raw page payload.
+    per_page_overhead_bytes: int = 48
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth_bps must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be non-negative")
+
+    @classmethod
+    def fast_ethernet(cls) -> "NetworkSpec":
+        """The cluster interconnect used in sections 5.2-5.4 and 5.6-5.7."""
+        return cls()
+
+    @classmethod
+    def broadband(cls) -> "NetworkSpec":
+        """The simulated broadband network of section 5.5 (6 Mb/s, 2 ms)."""
+        return cls(bandwidth_bps=mbit_per_s(6.0), latency_s=ms(2.0))
+
+
+@dataclass(frozen=True)
+class AMPoMConfig:
+    """Parameters of the AMPoM prefetching algorithm (paper sections 3-4)."""
+
+    #: Lookback window length ``l`` (section 4: 20).
+    lookback_length: int = 20
+    #: Maximum stride analysed, ``dmax`` (section 4: 4).
+    dmax: int = 4
+    #: Hard cap on the dependent-zone size, pages.  The paper does not state
+    #: a cap but figure 8 never exceeds ~160 pages/fault; the cap prevents a
+    #: transient bandwidth-estimate spike from requesting an unbounded zone.
+    max_zone_pages: int = 256
+    #: Floor on the dependent-zone size, pages.  Section 5.3 observes that
+    #: AMPoM retains "a 'baseline' of prefetching aggressiveness even when
+    #: the access pattern is not clear", resembling a fixed-size read-ahead;
+    #: the kernel it is built into already reads 8 pages around every
+    #: swapped-in fault (Linux 2.4 ``page_cluster = 3``), and openMosix's
+    #: remote paging takes that path.  The floor reproduces figure 7/8's
+    #: RandomAccess behaviour (85% of fault requests still prevented).
+    min_zone_pages: int = 8
+    #: Floor on the estimated available bandwidth, as a fraction of link
+    #: capacity, so the td estimate stays finite on a saturated link.
+    min_bandwidth_fraction: float = 0.05
+    #: Fallback paging interval (seconds) used for 1/r before the window has
+    #: two distinct timestamps.
+    initial_paging_interval: float = ms(1.0)
+
+    def __post_init__(self) -> None:
+        if self.lookback_length < 2:
+            raise ConfigurationError("lookback_length must be >= 2")
+        if not (1 <= self.dmax < self.lookback_length):
+            raise ConfigurationError("dmax must satisfy 1 <= dmax < lookback_length")
+        if self.max_zone_pages < 1:
+            raise ConfigurationError("max_zone_pages must be >= 1")
+        if not (0 <= self.min_zone_pages <= self.max_zone_pages):
+            raise ConfigurationError("need 0 <= min_zone_pages <= max_zone_pages")
+        if not (0.0 < self.min_bandwidth_fraction <= 1.0):
+            raise ConfigurationError("min_bandwidth_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class InfoDConfig:
+    """Configuration of the resource discovery and monitoring daemon."""
+
+    #: Interval between load-update/RTT probes (openMosix gossips ~1/s).
+    probe_interval: float = 1.0
+    #: Size of the load-update datagram whose acknowledgement measures RTT.
+    probe_size_bytes: int = 128
+    #: Exponential smoothing factor for RTT / bandwidth estimates.
+    smoothing: float = 0.5
+    #: Cap on the queuing delay a probe can observe per direction, modelling
+    #: the finite switch/NIC buffer a real ping traverses (seconds).
+    queue_delay_cap: float = 0.064
+    #: Scheduling latency of the remote user-space daemon that acknowledges
+    #: the load-update probe.  On the paper's platform (Linux 2.4, HZ=100)
+    #: a sleeping daemon wakes on a ~10 ms scheduler tick, so the measured
+    #: RTT — and hence AMPoM's prefetch horizon ``t`` — is dominated by it.
+    #: This is what makes the paper's dependent zones tens of pages deep
+    #: (figure 8) rather than a bare wire round trip.
+    daemon_delay: float = 0.010
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level bundle passed to :class:`repro.cluster.runner.MigrationRun`."""
+
+    hardware: HardwareSpec = field(default_factory=HardwareSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    ampom: AMPoMConfig = field(default_factory=AMPoMConfig)
+    infod: InfoDConfig = field(default_factory=InfoDConfig)
+    seed: int = 0
+
+    def with_network(self, network: NetworkSpec) -> "SimulationConfig":
+        """Return a copy with a different interconnect (e.g. broadband)."""
+        return replace(self, network=network)
+
+    def with_(self, **kwargs: Any) -> "SimulationConfig":
+        """Return a copy with arbitrary fields replaced."""
+        return replace(self, **kwargs)

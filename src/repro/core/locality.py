@@ -1,0 +1,28 @@
+"""The spatial locality score ``S`` (paper eq. 1).
+
+``S = sum_{d=1}^{dmax} stride_d / (l * d)`` — the summed fraction of
+strided references in the window, weighted down by stride distance.  ``S``
+is normalized to ``[0, 1]``: a purely sequential stream ``{1,2,3,...}``
+scores 1, a stream with no sequential pairs scores 0, and the paper's
+example ``{10,99,11,34,12,85}`` scores ``3 / (6 * 2) = 0.25``.
+
+``l`` is the number of references currently in the window (the paper's
+examples normalize by the stream length, e.g. ``l = 6`` above even though
+the implementation's window capacity is 20).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .stride import stride_counts
+
+
+def spatial_locality_score(pages: Sequence[int], dmax: int) -> float:
+    """Compute ``S`` for the reference stream ``pages``."""
+    l = len(pages)
+    if l == 0:
+        return 0.0
+    counts = stride_counts(pages, dmax)
+    score = sum(count / (l * d) for d, count in counts.items())
+    return min(max(score, 0.0), 1.0)

@@ -1,0 +1,129 @@
+"""Pluggable prefetch policies for the remote-paging fault handler.
+
+A policy is consulted on every fault of a migrated process and decides
+which remote pages to request ahead of demand.  The three migration
+schemes of the paper's evaluation map onto:
+
+* ``openMosix``      — no remote paging at all (no policy runs);
+* ``NoPrefetch``     — :class:`NoPrefetchPolicy` (demand paging only);
+* ``AMPoM``          — :class:`repro.core.prefetcher.AMPoMPrefetcher`.
+
+:class:`FixedReadAheadPolicy` and :class:`LinuxReadAheadPolicy` are the
+baseline policies used by the ablation benchmarks (section 5.3 likens
+AMPoM's fallback behaviour to a fixed-size read-ahead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from ..mem.readahead import LinuxReadAhead
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mem.residency import ResidencyTracker
+
+
+@dataclass(frozen=True, slots=True)
+class LinkConditions:
+    """Network/CPU conditions sampled by the oM_infoD daemon.
+
+    ``rtt_s`` is the measured round-trip time (``2 * t0`` in eq. 3),
+    ``available_bw_bps`` the available-bandwidth estimate used to derive
+    ``td``, and ``cpu_share`` the CPU fraction the process can expect next
+    (feeds ``c'`` when the process is not alone on the node).
+    """
+
+    rtt_s: float
+    available_bw_bps: float
+    cpu_share: float = 1.0
+
+
+@runtime_checkable
+class PrefetchPolicy(Protocol):
+    """Decides which pages to prefetch on each fault."""
+
+    #: Human-readable policy name (used in reports).
+    name: str
+    #: CPU time charged per consulted fault (figure 11's overhead model).
+    analysis_time: float
+
+    def on_fault(
+        self,
+        vpn: int,
+        now: float,
+        cpu_share: float,
+        residency: "ResidencyTracker",
+        conditions: LinkConditions,
+    ) -> list[int]:
+        """Return the remote pages to request alongside/after this fault.
+
+        ``cpu_share`` is the fraction of CPU the process consumed since its
+        previous fault (the ``C_i`` sample).  The returned pages must be
+        neither local nor pending; the executor requests them verbatim.
+        """
+        ...  # pragma: no cover
+
+
+class NoPrefetchPolicy:
+    """Demand paging only — the paper's "NoPrefetch" FFA variant."""
+
+    name = "noprefetch"
+    analysis_time = 0.0
+
+    def on_fault(
+        self,
+        vpn: int,
+        now: float,
+        cpu_share: float,
+        residency: "ResidencyTracker",
+        conditions: LinkConditions,
+    ) -> list[int]:
+        return []
+
+
+class FixedReadAheadPolicy:
+    """Always prefetch the next ``k`` pages after the faulting page."""
+
+    analysis_time = 0.0
+
+    def __init__(self, k: int, address_limit: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.address_limit = address_limit
+        self.name = f"readahead-{k}"
+
+    def on_fault(
+        self,
+        vpn: int,
+        now: float,
+        cpu_share: float,
+        residency: "ResidencyTracker",
+        conditions: LinkConditions,
+    ) -> list[int]:
+        stop = min(vpn + 1 + self.k, self.address_limit)
+        return [p for p in range(vpn + 1, stop) if residency.is_remote(p)]
+
+
+class LinuxReadAheadPolicy:
+    """Doubling-window sequential read-ahead (Linux 2.4 buffer cache)."""
+
+    analysis_time = 0.0
+
+    def __init__(self, address_limit: int, min_pages: int = 4, max_pages: int = 32) -> None:
+        self.address_limit = address_limit
+        self._window = LinuxReadAhead(min_pages=min_pages, max_pages=max_pages)
+        self.name = f"linux-readahead-{min_pages}-{max_pages}"
+
+    def on_fault(
+        self,
+        vpn: int,
+        now: float,
+        cpu_share: float,
+        residency: "ResidencyTracker",
+        conditions: LinkConditions,
+    ) -> list[int]:
+        k = self._window.on_access(vpn)
+        stop = min(vpn + 1 + k, self.address_limit)
+        return [p for p in range(vpn + 1, stop) if residency.is_remote(p)]

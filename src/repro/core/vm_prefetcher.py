@@ -1,0 +1,96 @@
+"""VM-tailored AMPoM: per-process lookback windows (paper section 7).
+
+A migrated virtual machine's fault stream interleaves the access streams
+of its guest processes.  A single lookback window sees slices of unrelated
+streams, which dilutes the spatial-locality score and forgets a stream's
+outstanding strides as soon as the guest scheduler switches away.  The
+paper proposes, as future work, "a tailored AMPoM for migrating virtual
+machines whose memory references are consisted of access streams from
+multiple processes".
+
+:class:`VmAmpomPrefetcher` implements that proposal: it demultiplexes
+faults by guest-process address range and runs one full AMPoM analysis
+pipeline (window, score, zone) per process.  Each sub-prefetcher's pivot
+walks are bounded to its process's block, so one guest's prefetching never
+wanders into another's address range.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Sequence
+
+from ..config import AMPoMConfig, HardwareSpec
+from ..errors import ConfigurationError
+from .policy import LinkConditions
+from .prefetcher import AMPoMPrefetcher
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mem.residency import ResidencyTracker
+
+
+class _RangedPrefetcher(AMPoMPrefetcher):
+    """An AMPoM instance whose dependent zone is clipped to [lo, hi)."""
+
+    def __init__(
+        self, config: AMPoMConfig, hardware: HardwareSpec, lo: int, hi: int
+    ) -> None:
+        super().__init__(config, hardware, address_limit=hi)
+        self.lo = lo
+
+
+class VmAmpomPrefetcher:
+    """Stream-demultiplexing AMPoM for multi-process (VM) migrants.
+
+    ``boundaries`` lists each guest process's ``(start_vpn, end_vpn)``
+    block; faults outside every block (the VM's own code/stack) are routed
+    to the nearest block's analyser.
+    """
+
+    name = "vm-ampom"
+
+    def __init__(
+        self,
+        config: AMPoMConfig,
+        hardware: HardwareSpec,
+        boundaries: Sequence[tuple[int, int]],
+    ) -> None:
+        if not boundaries:
+            raise ConfigurationError("VM prefetcher needs at least one process block")
+        ordered = sorted(boundaries)
+        for (lo, hi), (lo2, _hi2) in zip(ordered, ordered[1:]):
+            if hi > lo2:
+                raise ConfigurationError(f"overlapping process blocks: {boundaries}")
+        for lo, hi in ordered:
+            if lo >= hi:
+                raise ConfigurationError(f"empty process block ({lo}, {hi})")
+        self.boundaries = ordered
+        self._starts = [lo for lo, _ in ordered]
+        self._subs = [
+            _RangedPrefetcher(config, hardware, lo, hi) for lo, hi in ordered
+        ]
+        self.analysis_time = self._subs[0].analysis_time
+
+    # ------------------------------------------------------------------
+    def _sub_for(self, vpn: int) -> _RangedPrefetcher:
+        idx = bisect_right(self._starts, vpn) - 1
+        return self._subs[max(idx, 0)]
+
+    @property
+    def analyses(self) -> int:
+        return sum(sub.analyses for sub in self._subs)
+
+    @property
+    def window(self):
+        """The busiest sub-window (for the infoD window-wrap hook)."""
+        return max((sub.window for sub in self._subs), key=lambda w: w.wraps)
+
+    def on_fault(
+        self,
+        vpn: int,
+        now: float,
+        cpu_share: float,
+        residency: "ResidencyTracker",
+        conditions: LinkConditions,
+    ) -> list[int]:
+        return self._sub_for(vpn).on_fault(vpn, now, cpu_share, residency, conditions)

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid operations on the discrete-event kernel."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid network topology or transfer requests."""
+
+
+class MemoryStateError(ReproError):
+    """Raised when a page-residency transition is illegal (e.g. mapping a
+    page that is already mapped, or fetching a page the origin no longer
+    holds)."""
+
+
+class MigrationError(ReproError):
+    """Raised when a migration cannot be performed (e.g. migrating a
+    process that is already remote)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for inconsistent user-supplied configuration."""

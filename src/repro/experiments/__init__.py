@@ -1,0 +1,11 @@
+"""Reproduction harness: one generator per table/figure of the paper.
+
+``figures.figureN(...)`` returns the data series the paper's figure N
+plots; the benchmark suite (``benchmarks/``) times these generators and
+prints the series, and EXPERIMENTS.md records the paper-vs-measured
+comparison.
+"""
+
+from . import calibration, export, figures, tables
+
+__all__ = ["calibration", "export", "figures", "tables"]

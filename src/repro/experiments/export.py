@@ -1,0 +1,70 @@
+"""CSV export of the figure series (for plotting with any external tool).
+
+The benchmark harness prints and stores plain-text tables; this module
+writes the same data in long-format CSV (``figure,kernel,scheme,x,y``)
+so a single file can drive a gnuplot/matplotlib/vega recreation of the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable
+
+from . import figures
+
+
+def _rows_from_nested(
+    figure: str, data: dict[str, dict[str, list[tuple[int, float]]]]
+) -> Iterable[list]:
+    for kernel, schemes in data.items():
+        for scheme, series in schemes.items():
+            for x, y in series:
+                yield [figure, kernel, scheme, x, y]
+
+
+def _rows_from_flat(
+    figure: str, data: dict[str, list[tuple[int, float]]], scheme: str = "AMPoM"
+) -> Iterable[list]:
+    for kernel, series in data.items():
+        for x, y in series:
+            yield [figure, kernel, scheme, x, y]
+
+
+def export_figures_csv(
+    path: str | pathlib.Path,
+    scale: float = figures.DEFAULT_SCALE,
+    matrix: "figures.FigureMatrix | None" = None,
+) -> pathlib.Path:
+    """Regenerate figures 5-8/10/11 and write them as one long-format CSV.
+
+    ``matrix`` may be supplied to reuse an existing sweep.  Figure 5 is
+    exported at full scale (freeze-only runs); figure 9's percentage cells
+    are exported with the network label in the ``x`` column position.
+    Returns the written path.
+    """
+    if matrix is None:
+        matrix = figures.run_matrix(scale=scale)
+
+    rows: list[list] = []
+    rows.extend(_rows_from_nested("fig5", figures.figure5_full_scale()))
+    rows.extend(_rows_from_nested("fig6", figures.figure6(matrix)))
+    rows.extend(_rows_from_nested("fig7", figures.figure7(matrix)))
+    rows.extend(_rows_from_flat("fig8", figures.figure8(matrix)))
+    for label, nets in figures.figure9(scale=0.5).items():
+        for net, schemes in nets.items():
+            for scheme, pct in schemes.items():
+                rows.append(["fig9", label, scheme, net, pct])
+    for scheme, series in figures.figure10(scale=scale).items():
+        for ws, t in series:
+            rows.append(["fig10", "DGEMM/ws", scheme, ws, t])
+    rows.extend(_rows_from_flat("fig11", figures.figure11(matrix)))
+
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["figure", "kernel", "scheme", "x", "y"])
+        writer.writerows(rows)
+    return out

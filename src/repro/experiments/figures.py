@@ -1,0 +1,355 @@
+"""Series generators for every figure of the paper's evaluation.
+
+Each ``figureN`` function runs the necessary simulations and returns the
+series the corresponding figure plots.  All functions accept ``scale``, a
+multiplier on the program sizes (the series keys stay in *paper* MB so the
+output reads like the figure); the schemes' relative behaviour is
+scale-invariant, see EXPERIMENTS.md for the fidelity discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimulationConfig
+from ..cluster.runner import MigrationRun
+from ..errors import ConfigurationError
+from ..migration.ampom import AmpomMigration
+from ..migration.base import MigrationStrategy
+from ..migration.executor import ExecutionResult
+from ..migration.noprefetch import NoPrefetchMigration
+from ..migration.openmosix import OpenMosixMigration
+from ..units import mbit_per_s, mib, ms
+from ..workloads.hpcc import hpcc_workload, kernel_sizes_mb
+from ..workloads.workingset import WorkingSetDgemmWorkload
+from .calibration import gideon_config
+
+KERNELS = ("DGEMM", "STREAM", "RandomAccess", "FFT")
+SCHEMES = ("AMPoM", "openMosix", "NoPrefetch")
+
+#: Default size scale for the benchmark harness: program sizes are 1/8 of
+#: the paper's, keeping a full figure sweep within seconds of wall time.
+DEFAULT_SCALE = 1.0 / 8.0
+
+
+def scaled_config(scale: float = DEFAULT_SCALE, seed: int = 0) -> SimulationConfig:
+    """Gideon-300 configuration adjusted for a size-scaled sweep.
+
+    The dependent-zone cap is scaled with the program size so the
+    lookahead : data-structure ratio matches the full-size system —
+    a fixed 256-page (1 MiB) cap would span several row panels of a
+    size-scaled DGEMM, permitting compute/transfer overlap the full-size
+    system cannot achieve (see EXPERIMENTS.md).
+    """
+    base = gideon_config(seed)
+    if scale >= 1.0:
+        return base
+    cap = max(base.ampom.min_zone_pages, int(base.ampom.max_zone_pages * scale * 2))
+    from dataclasses import replace
+
+    return base.with_(ampom=replace(base.ampom, max_zone_pages=cap))
+
+
+def make_strategy(scheme: str) -> MigrationStrategy:
+    """Instantiate a migration scheme by its figure label."""
+    factories = {
+        "AMPoM": AmpomMigration,
+        "openMosix": OpenMosixMigration,
+        "NoPrefetch": NoPrefetchMigration,
+    }
+    try:
+        return factories[scheme]()
+    except KeyError:
+        raise ConfigurationError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+
+
+def run_one(
+    kernel: str,
+    memory_mb: float,
+    scheme: str,
+    scale: float = DEFAULT_SCALE,
+    config: SimulationConfig | None = None,
+    shaped_bandwidth_bps: float | None = None,
+    shaped_latency_s: float | None = None,
+    **workload_kwargs: object,
+) -> ExecutionResult:
+    """Run one (kernel, size, scheme) cell of the evaluation."""
+    workload = hpcc_workload(kernel, memory_mb, scale=scale, **workload_kwargs)
+    run = MigrationRun(
+        workload,
+        make_strategy(scheme),
+        config=config if config is not None else scaled_config(scale),
+        shaped_bandwidth_bps=shaped_bandwidth_bps,
+        shaped_latency_s=shaped_latency_s,
+    )
+    return run.execute()
+
+
+@dataclass(slots=True)
+class FigureMatrix:
+    """Results of the full kernel x size x scheme sweep (figures 5-8, 11)."""
+
+    scale: float
+    #: results[(kernel, memory_mb, scheme)] -> ExecutionResult
+    results: dict[tuple[str, int, str], ExecutionResult]
+
+    def series(self, kernel: str, scheme: str) -> list[tuple[int, ExecutionResult]]:
+        return [
+            (mb, self.results[(kernel, mb, scheme)]) for mb in kernel_sizes_mb(kernel)
+        ]
+
+
+def run_matrix(
+    kernels: tuple[str, ...] = KERNELS,
+    schemes: tuple[str, ...] = SCHEMES,
+    scale: float = DEFAULT_SCALE,
+    config: SimulationConfig | None = None,
+) -> FigureMatrix:
+    """The full sweep behind figures 5, 6, 7, 8, and 11."""
+    results: dict[tuple[str, int, str], ExecutionResult] = {}
+    for kernel in kernels:
+        for memory_mb in kernel_sizes_mb(kernel):
+            for scheme in schemes:
+                results[(kernel, memory_mb, scheme)] = run_one(
+                    kernel, memory_mb, scheme, scale=scale, config=config
+                )
+    return FigureMatrix(scale=scale, results=results)
+
+
+# ----------------------------------------------------------------------
+# figure 5: migration freeze time
+# ----------------------------------------------------------------------
+def freeze_time(
+    kernel: str,
+    memory_mb: float,
+    scheme: str,
+    scale: float = 1.0,
+    config: SimulationConfig | None = None,
+) -> float:
+    """Freeze time of one migration, without executing the trace.
+
+    Freeze time depends only on the address-space size and the link, so
+    this runs at **full paper scale** by default.
+    """
+    workload = hpcc_workload(kernel, memory_mb, scale=scale)
+    run = MigrationRun(
+        workload,
+        make_strategy(scheme),
+        config=config if config is not None else gideon_config(),
+    )
+    return run.measure_freeze().freeze_time
+
+
+def figure5_full_scale(
+    kernels: tuple[str, ...] = KERNELS,
+    schemes: tuple[str, ...] = SCHEMES,
+    config: SimulationConfig | None = None,
+) -> dict[str, dict[str, list[tuple[int, float]]]]:
+    """Figure 5 at the paper's actual program sizes (freeze-only runs)."""
+    return {
+        kernel: {
+            scheme: [
+                (mb, freeze_time(kernel, mb, scheme, config=config))
+                for mb in kernel_sizes_mb(kernel)
+            ]
+            for scheme in schemes
+        }
+        for kernel in kernels
+    }
+
+
+def figure5(matrix: FigureMatrix) -> dict[str, dict[str, list[tuple[int, float]]]]:
+    """``{kernel: {scheme: [(memory_mb, freeze_seconds), ...]}}``."""
+    return {
+        kernel: {
+            scheme: [(mb, r.freeze_time) for mb, r in matrix.series(kernel, scheme)]
+            for scheme in SCHEMES
+            if (kernel, kernel_sizes_mb(kernel)[0], scheme) in matrix.results
+        }
+        for kernel in KERNELS
+        if any(k == kernel for k, _, _ in matrix.results)
+    }
+
+
+# ----------------------------------------------------------------------
+# figure 6: total execution time
+# ----------------------------------------------------------------------
+def figure6(matrix: FigureMatrix) -> dict[str, dict[str, list[tuple[int, float]]]]:
+    """``{kernel: {scheme: [(memory_mb, total_seconds), ...]}}``."""
+    return {
+        kernel: {
+            scheme: [(mb, r.total_time) for mb, r in matrix.series(kernel, scheme)]
+            for scheme in SCHEMES
+            if (kernel, kernel_sizes_mb(kernel)[0], scheme) in matrix.results
+        }
+        for kernel in KERNELS
+        if any(k == kernel for k, _, _ in matrix.results)
+    }
+
+
+# ----------------------------------------------------------------------
+# figure 7: number of page fault requests (AMPoM vs NoPrefetch)
+# ----------------------------------------------------------------------
+def figure7(matrix: FigureMatrix) -> dict[str, dict[str, list[tuple[int, int]]]]:
+    """``{kernel: {scheme: [(memory_mb, fault_requests), ...]}}``."""
+    return {
+        kernel: {
+            scheme: [
+                (mb, r.counters.page_fault_requests)
+                for mb, r in matrix.series(kernel, scheme)
+            ]
+            for scheme in ("AMPoM", "NoPrefetch")
+            if (kernel, kernel_sizes_mb(kernel)[0], scheme) in matrix.results
+        }
+        for kernel in KERNELS
+        if any(k == kernel for k, _, _ in matrix.results)
+    }
+
+
+# ----------------------------------------------------------------------
+# figure 8: prefetched pages per page fault (AMPoM)
+# ----------------------------------------------------------------------
+def figure8(matrix: FigureMatrix) -> dict[str, list[tuple[int, float]]]:
+    """``{kernel: [(memory_mb, prefetched_pages_per_fault), ...]}``."""
+    return {
+        kernel: [
+            (mb, r.counters.prefetched_pages_per_fault)
+            for mb, r in matrix.series(kernel, "AMPoM")
+        ]
+        for kernel in KERNELS
+        if any(k == kernel for k, _, _ in matrix.results)
+    }
+
+
+# ----------------------------------------------------------------------
+# figure 9: adaptation to network performance
+# ----------------------------------------------------------------------
+def figure9(
+    scale: float = DEFAULT_SCALE,
+    config: SimulationConfig | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Percentage increase in execution time vs openMosix.
+
+    ``{kernel_label: {network: {scheme: pct_increase}}}`` for DGEMM 115 MB
+    and RandomAccess 129 MB at 100 Mb/s and at 6 Mb/s / 2 ms (the
+    tc-shaped broadband link of section 5.5).
+    """
+    cases = (("DGEMM", 115), ("RandomAccess", 129))
+    networks: dict[str, dict[str, float | None]] = {
+        "100Mb/s": {"bw": None, "lat": None},
+        "6Mb/s": {"bw": mbit_per_s(6.0), "lat": ms(2.0)},
+    }
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for kernel, memory_mb in cases:
+        label = f"{kernel} ({memory_mb}MB)"
+        out[label] = {}
+        for net_label, shape in networks.items():
+            times = {
+                scheme: run_one(
+                    kernel,
+                    memory_mb,
+                    scheme,
+                    scale=scale,
+                    config=config,
+                    shaped_bandwidth_bps=shape["bw"],
+                    shaped_latency_s=shape["lat"],
+                ).total_time
+                for scheme in SCHEMES
+            }
+            base = times["openMosix"]
+            out[label][net_label] = {
+                scheme: (times[scheme] - base) / base * 100.0
+                for scheme in ("AMPoM", "NoPrefetch")
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# figure 10: migration of processes with small working sets
+# ----------------------------------------------------------------------
+def figure10(
+    scale: float = DEFAULT_SCALE,
+    config: SimulationConfig | None = None,
+    allocated_mb: int = 575,
+    working_set_mbs: tuple[int, ...] = (115, 230, 345, 460, 575),
+) -> dict[str, list[tuple[int, float]]]:
+    """``{scheme: [(working_set_mb, total_seconds), ...]}`` for the
+    575 MB-allocation DGEMM of section 5.6."""
+    out: dict[str, list[tuple[int, float]]] = {"openMosix": [], "AMPoM": []}
+    for ws_mb in working_set_mbs:
+        for scheme in ("openMosix", "AMPoM"):
+            workload = WorkingSetDgemmWorkload(
+                memory_bytes=mib(allocated_mb * scale),
+                working_set_bytes=mib(ws_mb * scale),
+            )
+            run = MigrationRun(
+                workload,
+                make_strategy(scheme),
+                config=config if config is not None else scaled_config(scale),
+            )
+            result = run.execute()
+            out[scheme].append((ws_mb, result.total_time))
+    return out
+
+
+# ----------------------------------------------------------------------
+# figure 11: overheads of AMPoM
+# ----------------------------------------------------------------------
+def figure11(matrix: FigureMatrix) -> dict[str, list[tuple[int, float]]]:
+    """``{kernel: [(memory_mb, analysis_overhead_pct), ...]}`` — the time
+    spent determining the dependent zone as % of total execution time."""
+    return {
+        kernel: [
+            (mb, r.budget.analysis_overhead_fraction * 100.0)
+            for mb, r in matrix.series(kernel, "AMPoM")
+        ]
+        for kernel in KERNELS
+        if any(k == kernel for k, _, _ in matrix.results)
+    }
+
+
+# ----------------------------------------------------------------------
+# headline claims (abstract / sections 5.2-5.4)
+# ----------------------------------------------------------------------
+def headline_claims(matrix: FigureMatrix) -> dict[str, dict[str, float]]:
+    """Per-kernel headline metrics on the largest configuration:
+
+    * ``freeze_avoided_pct`` — AMPoM's freeze-time reduction vs openMosix
+      (abstract: 98%);
+    * ``faults_prevented_pct`` — fault requests prevented vs NoPrefetch
+      (abstract: 85-99%);
+    * ``ampom_overhead_pct`` — AMPoM runtime vs openMosix (abstract: 0-5%);
+    * ``noprefetch_penalty_pct`` — NoPrefetch runtime vs openMosix
+      (section 5.3: +35/51/20/41%).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for kernel in KERNELS:
+        largest = kernel_sizes_mb(kernel)[-1]
+        try:
+            ampom = matrix.results[(kernel, largest, "AMPoM")]
+            openmosix = matrix.results[(kernel, largest, "openMosix")]
+            noprefetch = matrix.results[(kernel, largest, "NoPrefetch")]
+        except KeyError:
+            continue
+        out[kernel] = {
+            "freeze_avoided_pct": (
+                (openmosix.freeze_time - ampom.freeze_time) / openmosix.freeze_time * 100.0
+            ),
+            "faults_prevented_pct": (
+                (
+                    noprefetch.counters.page_fault_requests
+                    - ampom.counters.page_fault_requests
+                )
+                / noprefetch.counters.page_fault_requests
+                * 100.0
+            ),
+            "ampom_overhead_pct": (
+                (ampom.total_time - openmosix.total_time) / openmosix.total_time * 100.0
+            ),
+            "noprefetch_penalty_pct": (
+                (noprefetch.total_time - openmosix.total_time)
+                / openmosix.total_time
+                * 100.0
+            ),
+        }
+    return out

@@ -1,0 +1,49 @@
+"""Table 1: problem and memory sizes of the HPCC configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import PAGE_SIZE, mib, pages_for
+from ..workloads.hpcc import HPCC_SIZES, HpccConfiguration, hpcc_workload
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One configuration with the derived simulation quantities."""
+
+    kernel: str
+    problem_size: int
+    memory_mb: int
+    data_pages: int
+    mpt_bytes: int
+
+
+def table1(scale: float = 1.0, page_size: int = PAGE_SIZE) -> list[Table1Row]:
+    """Materialize table 1, including each configuration's page count and
+    the master-page-table size AMPoM would ship (6 B/page, section 5.2)."""
+    rows: list[Table1Row] = []
+    for cfg in HPCC_SIZES:
+        workload = hpcc_workload(cfg.kernel, cfg.memory_mb, scale=scale, page_size=page_size)
+        workload.setup()
+        pages = workload.data_pages()
+        rows.append(
+            Table1Row(
+                kernel=cfg.kernel,
+                problem_size=cfg.problem_size,
+                memory_mb=cfg.memory_mb,
+                data_pages=pages,
+                mpt_bytes=pages * 6,
+            )
+        )
+    return rows
+
+
+def paper_configurations() -> tuple[HpccConfiguration, ...]:
+    """The verbatim table-1 rows."""
+    return HPCC_SIZES
+
+
+def expected_pages(memory_mb: int, scale: float = 1.0, page_size: int = PAGE_SIZE) -> int:
+    """Page count of a configuration at a given scale (helper for tests)."""
+    return pages_for(mib(memory_mb * scale), page_size)

@@ -1,0 +1,36 @@
+"""Page-fault taxonomy used by the migrant executor and the counters.
+
+The distinction matters for reproducing figure 7, which counts *page fault
+requests* — blocking demand requests sent to the origin node:
+
+* ``MAJOR`` — the page is neither local nor in flight; a blocking
+  PAGE_REQUEST goes out and the process stalls for a full round trip.
+* ``IN_FLIGHT_WAIT`` — the page was already requested (prefetch); the
+  process stalls only for the *residual* arrival time ("pipelining
+  effect", section 5.4), and no new request is needed for it.
+* ``MINOR_BUFFERED`` — the page has arrived in the prefetch buffer and only
+  needs to be copied into the address space (Algorithm 1's "copy these
+  pages to the migrant's address space").  No network round trip.
+* ``MINOR_CREATE`` — the page is being created by the migrant (fresh
+  allocation after migration); only the MPT is updated (section 2.2).
+
+All four kinds are *faults*: each is recorded in AMPoM's lookback window
+and triggers a dependent-zone analysis, but only ``MAJOR`` contributes to
+figure 7's request count.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultKind(enum.Enum):
+    MAJOR = "major"
+    IN_FLIGHT_WAIT = "in_flight_wait"
+    MINOR_BUFFERED = "minor_buffered"
+    MINOR_CREATE = "minor_create"
+
+    @property
+    def blocking(self) -> bool:
+        """Whether the process may stall on the network for this fault."""
+        return self in (FaultKind.MAJOR, FaultKind.IN_FLIGHT_WAIT)

@@ -1,0 +1,53 @@
+"""LRU page-capacity model (optional extension).
+
+The paper's evaluation ignores destination-memory pressure (the Gideon
+nodes hold 512 MB and the largest kernels nominally exceed it).  This
+module provides an LRU model so the effect can be studied: when enabled,
+the migrant executor evicts the least-recently-used page once the resident
+set exceeds capacity, writing dirty pages back to the origin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import MemoryStateError
+
+
+class LruPageCache:
+    """An LRU set of page numbers with a fixed capacity."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise MemoryStateError(f"capacity must be >= 1 page, got {capacity_pages}")
+        self.capacity_pages = capacity_pages
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._order
+
+    def touch(self, vpn: int) -> None:
+        """Mark ``vpn`` most-recently used (it must be resident)."""
+        try:
+            self._order.move_to_end(vpn)
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not resident")
+
+    def insert(self, vpn: int) -> int | None:
+        """Insert ``vpn`` as MRU; return the evicted victim, if any."""
+        if vpn in self._order:
+            raise MemoryStateError(f"page {vpn} is already resident")
+        victim = None
+        if len(self._order) >= self.capacity_pages:
+            victim, _ = self._order.popitem(last=False)
+        self._order[vpn] = None
+        return victim
+
+    def remove(self, vpn: int) -> None:
+        try:
+            del self._order[vpn]
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not resident")

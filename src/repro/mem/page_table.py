@@ -1,0 +1,165 @@
+"""Master and home page tables of the remote-paging support.
+
+Paper section 2.2: when a process migrates, its Linux page table is
+transferred to the destination and becomes the **master page table (MPT)**;
+the original table becomes the **home page table (HPT)** and the original
+process instance becomes a deputy.  The update rules are:
+
+* a page transferred to the migrant (during migration or by a later fault)
+  is *deleted* from the origin and removed from the HPT;
+* a page created by the migrant updates only the MPT;
+* unmapping a page updates the HPT as well only if the page is still stored
+  at the origin.
+
+The MPT is what AMPoM ships during the freeze; its size is 6 bytes per page
+(section 5.2), which is why AMPoM's freeze time still grows linearly with
+the address-space size in figure 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ..errors import MemoryStateError
+from ..units import MPT_ENTRY_BYTES
+
+
+class PageLocation(enum.Enum):
+    """Where the authoritative copy of a page currently lives."""
+
+    LOCAL = "local"  # at the migrant (destination node)
+    HOME = "home"  # still stored at the origin node
+
+
+class HomePageTable:
+    """Pages still held by the origin node on behalf of a migrant."""
+
+    def __init__(self, pages: Iterable[int] = ()) -> None:
+        self._pages: set[int] = set(pages)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def pages(self) -> frozenset[int]:
+        return frozenset(self._pages)
+
+    def release(self, vpn: int) -> None:
+        """Delete the origin copy after the page was shipped to the migrant."""
+        try:
+            self._pages.remove(vpn)
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not stored at the origin")
+
+    def store(self, vpn: int) -> None:
+        """Store a page written back by the migrant (memory pressure at the
+        destination evicts it to its home node)."""
+        if vpn in self._pages:
+            raise MemoryStateError(f"page {vpn} is already stored at the origin")
+        self._pages.add(vpn)
+
+    def drop(self, vpn: int) -> None:
+        """Remove an unmapped page that was still stored at the origin."""
+        self.release(vpn)
+
+
+class MasterPageTable:
+    """The migrant's page table: every live page and its location."""
+
+    def __init__(self, entry_bytes: int = MPT_ENTRY_BYTES) -> None:
+        self.entry_bytes = entry_bytes
+        self._entries: dict[int, PageLocation] = {}
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the MPT when shipped during the freeze."""
+        return len(self._entries) * self.entry_bytes
+
+    def location(self, vpn: int) -> PageLocation:
+        try:
+            return self._entries[vpn]
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} has no MPT entry")
+
+    def pages_at(self, location: PageLocation) -> frozenset[int]:
+        return frozenset(vpn for vpn, loc in self._entries.items() if loc is location)
+
+    # ------------------------------------------------------------------
+    # update rules of section 2.2
+    # ------------------------------------------------------------------
+    def mark_local(self, vpn: int) -> None:
+        """The migrant mapped a page that arrived from the origin.
+
+        In the simulation the transfer is split between two actors: the
+        deputy deletes the origin copy (``HomePageTable.release``) when it
+        ships the page, and the migrant flips the MPT entry when the page
+        is copied into its address space.  :func:`transfer_page` performs
+        both halves atomically for non-simulated use.
+        """
+        if self.location(vpn) is PageLocation.LOCAL:
+            raise MemoryStateError(f"page {vpn} is already local")
+        self._entries[vpn] = PageLocation.LOCAL
+
+    def mark_home(self, vpn: int) -> None:
+        """The page was written back to the origin (eviction)."""
+        if self.location(vpn) is PageLocation.HOME:
+            raise MemoryStateError(f"page {vpn} is already at home")
+        self._entries[vpn] = PageLocation.HOME
+
+    def record_creation(self, vpn: int) -> None:
+        """A page created by the migrant: only the MPT is updated."""
+        if vpn in self._entries:
+            raise MemoryStateError(f"page {vpn} already exists")
+        self._entries[vpn] = PageLocation.LOCAL
+
+    def record_unmap(self, vpn: int, hpt: HomePageTable) -> None:
+        """Unmap a page; the HPT is touched only if the origin held it."""
+        location = self.location(vpn)
+        if location is PageLocation.HOME:
+            hpt.drop(vpn)
+        del self._entries[vpn]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_migration(
+        cls,
+        pages: Iterable[int],
+        local_pages: Iterable[int],
+        entry_bytes: int = MPT_ENTRY_BYTES,
+    ) -> tuple["MasterPageTable", HomePageTable]:
+        """Build the (MPT, HPT) pair at migration time.
+
+        ``pages`` is every live page of the process; ``local_pages`` are the
+        ones shipped during the freeze (the code/data/stack trio for AMPoM,
+        everything for openMosix).
+        """
+        local = set(local_pages)
+        mpt = cls(entry_bytes=entry_bytes)
+        home_pages = set()
+        for vpn in pages:
+            if vpn in local:
+                mpt._entries[vpn] = PageLocation.LOCAL
+            else:
+                mpt._entries[vpn] = PageLocation.HOME
+                home_pages.add(vpn)
+        unknown = local - set(mpt._entries)
+        if unknown:
+            raise MemoryStateError(f"local pages not part of the address space: {sorted(unknown)}")
+        return mpt, HomePageTable(home_pages)
+
+
+def transfer_page(mpt: MasterPageTable, hpt: HomePageTable, vpn: int) -> None:
+    """Atomically apply section 2.2's transfer rule: delete the origin copy
+    and mark the MPT entry local."""
+    hpt.release(vpn)
+    mpt.mark_local(vpn)

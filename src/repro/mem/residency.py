@@ -1,0 +1,130 @@
+"""Residency state machine for the migrant's pages.
+
+Each page of a migrated process is in exactly one state:
+
+``MAPPED``
+    Present in the migrant's address space; references hit the fast path.
+``BUFFERED``
+    Arrived from the origin but not yet copied in; the next fault copies
+    every buffered page (Algorithm 1, first step).
+``IN_FLIGHT``
+    Requested (demand or prefetch) with a known arrival time.
+``REMOTE``
+    Still stored at the origin node.
+
+The tracker is the hot data structure of the simulation: the executor's
+inner loop does one ``vpn in mapped`` set probe per page reference, so the
+mapped set is exposed directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from ..errors import MemoryStateError
+
+
+class ResidencyTracker:
+    """Tracks page states and pending arrivals for one migrant."""
+
+    def __init__(self, remote_pages: Iterable[int], mapped_pages: Iterable[int] = ()) -> None:
+        #: Pages present in the address space.  Exposed for the executor's
+        #: fast path; treat as read-only outside this class.
+        self.mapped: set[int] = set(mapped_pages)
+        self._remote: set[int] = set(remote_pages)
+        overlap = self.mapped & self._remote
+        if overlap:
+            raise MemoryStateError(f"pages both mapped and remote: {sorted(overlap)[:5]}")
+        self._buffered: set[int] = set()
+        self._in_flight: dict[int, float] = {}
+        self._arrival_heap: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def remote(self) -> frozenset[int]:
+        return frozenset(self._remote)
+
+    @property
+    def buffered(self) -> frozenset[int]:
+        return frozenset(self._buffered)
+
+    @property
+    def in_flight(self) -> frozenset[int]:
+        return frozenset(self._in_flight)
+
+    def is_local_or_pending(self, vpn: int) -> bool:
+        """True if the page needs no new request (Algorithm 1's "stored
+        locally" test also skips pages already on the wire)."""
+        return vpn in self.mapped or vpn in self._buffered or vpn in self._in_flight
+
+    def is_remote(self, vpn: int) -> bool:
+        """True if the page is stored at the origin and may be requested."""
+        return vpn in self._remote
+
+    @property
+    def n_remote(self) -> int:
+        return len(self._remote)
+
+    @property
+    def n_in_flight(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def n_buffered(self) -> int:
+        return len(self._buffered)
+
+    def arrival_time(self, vpn: int) -> float:
+        try:
+            return self._in_flight[vpn]
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not in flight")
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def start_fetch(self, vpn: int, arrival: float) -> None:
+        """REMOTE -> IN_FLIGHT with a known arrival time."""
+        if vpn not in self._remote:
+            raise MemoryStateError(f"page {vpn} is not remote; cannot fetch it")
+        self._remote.remove(vpn)
+        self._in_flight[vpn] = arrival
+        heapq.heappush(self._arrival_heap, (arrival, vpn))
+
+    def absorb_arrivals(self, now: float) -> int:
+        """IN_FLIGHT -> BUFFERED for every page whose arrival time has
+        passed.  Returns how many pages arrived."""
+        n = 0
+        heap = self._arrival_heap
+        while heap and heap[0][0] <= now:
+            _, vpn = heapq.heappop(heap)
+            del self._in_flight[vpn]
+            self._buffered.add(vpn)
+            n += 1
+        return n
+
+    def map_buffered(self) -> list[int]:
+        """BUFFERED -> MAPPED for every buffered page (the copy step of
+        Algorithm 1).  Returns the pages that were copied."""
+        copied = list(self._buffered)
+        self.mapped.update(self._buffered)
+        self._buffered.clear()
+        return copied
+
+    def map_created(self, vpn: int) -> None:
+        """A page freshly created by the migrant (never remote)."""
+        if vpn in self.mapped or vpn in self._buffered or vpn in self._in_flight or (
+            vpn in self._remote
+        ):
+            raise MemoryStateError(f"page {vpn} already exists; cannot create it")
+        self.mapped.add(vpn)
+
+    def unmap(self, vpn: int) -> None:
+        """Drop a mapped page (used by the LRU capacity model)."""
+        try:
+            self.mapped.remove(vpn)
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not mapped")
+        self._remote.add(vpn)

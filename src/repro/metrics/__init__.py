@@ -1,0 +1,15 @@
+"""Telemetry: fault/prefetch counters, time accounting, report formatting."""
+
+from .counters import Counters
+from .eventlog import FaultEvent, FaultLog
+from .report import format_table, percent_change
+from .timeline import TimeBudget
+
+__all__ = [
+    "Counters",
+    "FaultEvent",
+    "FaultLog",
+    "TimeBudget",
+    "format_table",
+    "percent_change",
+]

@@ -1,0 +1,97 @@
+"""Optional per-fault event log for debugging and analysis.
+
+When attached to a :class:`repro.migration.executor.MigrantExecutor`, the
+log records one entry per fault (time, page, kind, prefetch count, stall),
+backed by growable column lists so the overhead stays small.  Query
+helpers slice the log by kind and compute simple summaries — handy when
+developing a new prefetch policy against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mem.fault import FaultKind
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One recorded fault."""
+
+    time: float
+    vpn: int
+    kind: FaultKind
+    prefetched: int
+    stall: float
+
+
+class FaultLog:
+    """Columnar log of every fault of one execution."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._vpns: list[int] = []
+        self._kinds: list[FaultKind] = []
+        self._prefetched: list[int] = []
+        self._stalls: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(
+        self, time: float, vpn: int, kind: FaultKind, prefetched: int, stall: float
+    ) -> None:
+        self._times.append(time)
+        self._vpns.append(vpn)
+        self._kinds.append(kind)
+        self._prefetched.append(prefetched)
+        self._stalls.append(stall)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, i: int) -> FaultEvent:
+        return FaultEvent(
+            self._times[i],
+            self._vpns[i],
+            self._kinds[i],
+            self._prefetched[i],
+            self._stalls[i],
+        )
+
+    def events(self, kind: FaultKind | None = None):
+        """Iterate events, optionally filtered by fault kind."""
+        for i in range(len(self)):
+            if kind is None or self._kinds[i] is kind:
+                yield self[i]
+
+    def count(self, kind: FaultKind) -> int:
+        return sum(1 for k in self._kinds if k is kind)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    def vpns(self) -> np.ndarray:
+        return np.asarray(self._vpns, dtype=np.int64)
+
+    def total_stall(self) -> float:
+        return float(sum(self._stalls))
+
+    def fault_rate(self) -> float:
+        """Mean faults/second over the logged span."""
+        if len(self._times) < 2:
+            return 0.0
+        span = self._times[-1] - self._times[0]
+        return len(self._times) / span if span > 0 else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "faults": float(len(self)),
+            "major": float(self.count(FaultKind.MAJOR)),
+            "waits": float(self.count(FaultKind.IN_FLIGHT_WAIT)),
+            "minor": float(self.count(FaultKind.MINOR_BUFFERED)),
+            "creates": float(self.count(FaultKind.MINOR_CREATE)),
+            "total_stall_s": self.total_stall(),
+            "fault_rate_hz": self.fault_rate(),
+            "prefetched_pages": float(sum(self._prefetched)),
+        }

@@ -1,0 +1,50 @@
+"""Wall-clock decomposition of a migrated process's lifetime.
+
+The identity ``wall = freeze + compute + stall + analysis + copy +
+syscall`` is enforced by the integration tests: every simulated second of
+the migrant's life is attributed to exactly one bucket.  Figure 11 reports
+``analysis / wall`` (the cost of finding the dependent zone); section 5.2's
+freeze times are the ``freeze`` bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(slots=True)
+class TimeBudget:
+    """Seconds of simulated time per activity."""
+
+    #: Process frozen during migration (no computation possible).
+    freeze: float = 0.0
+    #: Useful computation on the destination node.
+    compute: float = 0.0
+    #: Blocked on the network waiting for a page.
+    stall: float = 0.0
+    #: Dependent-zone analysis (AMPoM's algorithmic overhead, figure 11).
+    analysis: float = 0.0
+    #: Copying arrived pages from the prefetch buffer into place.
+    copy: float = 0.0
+    #: Forwarded system calls (home dependency, section 7).
+    syscall: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total attributed wall time."""
+        return sum(getattr(self, f.name) for f in fields(TimeBudget))
+
+    @property
+    def analysis_overhead_fraction(self) -> float:
+        """Figure 11's quantity: analysis time over total execution time."""
+        total = self.total
+        return self.analysis / total if total > 0 else 0.0
+
+    def add(self, bucket: str, seconds: float) -> None:
+        """Charge ``seconds`` to ``bucket`` (must be a field name)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time to {bucket!r}: {seconds}")
+        setattr(self, bucket, getattr(self, bucket) + seconds)
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(TimeBudget)}

@@ -1,0 +1,49 @@
+"""Process-migration mechanisms.
+
+The three schemes of the paper's evaluation plus two related-work
+baselines (section 6):
+
+* :class:`OpenMosixMigration` — transfer *all dirty pages* during the
+  freeze; no remote page faults afterwards (stock openMosix).
+* :class:`NoPrefetchMigration` — the FFA variant of section 5.1: three
+  pages during the freeze, every miss demand-fetched from the origin.
+* :class:`AmpomMigration` — three pages + the master page table during the
+  freeze, remote paging with adaptive prefetching (the paper's system).
+* :class:`FfaMigration` — Roush's original Freeze-Free Algorithm: three
+  pages, then dirty pages flushed to a *file server* that serves the
+  migrant's faults.
+* :class:`PrecopyMigration` — V-system style iterative pre-copy.
+
+:class:`repro.migration.executor.MigrantExecutor` runs a workload trace
+against the outcome of any strategy inside the DES.
+"""
+
+from .ampom import AmpomMigration
+from .base import (
+    DeputyPageService,
+    MigrationContext,
+    MigrationOutcome,
+    MigrationStrategy,
+    PageService,
+)
+from .executor import ExecutionResult, MigrantExecutor
+from .ffa import FfaMigration, FileServerPageService
+from .noprefetch import NoPrefetchMigration
+from .openmosix import OpenMosixMigration
+from .precopy import PrecopyMigration
+
+__all__ = [
+    "AmpomMigration",
+    "DeputyPageService",
+    "ExecutionResult",
+    "FfaMigration",
+    "FileServerPageService",
+    "MigrantExecutor",
+    "MigrationContext",
+    "MigrationOutcome",
+    "MigrationStrategy",
+    "NoPrefetchMigration",
+    "OpenMosixMigration",
+    "PageService",
+    "PrecopyMigration",
+]

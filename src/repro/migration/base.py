@@ -1,0 +1,152 @@
+"""Migration-strategy abstractions.
+
+A :class:`MigrationStrategy` is invoked at the instant migration is
+initiated.  It performs the freeze-time transfers on the simulated links,
+builds the post-migration memory state (MPT/HPT/residency), and returns a
+:class:`MigrationOutcome` whose ``freeze_time`` the runner waits out before
+resuming the migrant.
+
+A :class:`PageService` abstracts *who answers page faults afterwards*: the
+origin's deputy (openMosix/AMPoM/NoPrefetch) or an FFA file server.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..config import AMPoMConfig, HardwareSpec
+from ..core.policy import PrefetchPolicy
+from ..errors import MigrationError
+from ..mem.address_space import AddressSpace
+from ..mem.page_table import HomePageTable, MasterPageTable
+from ..mem.residency import ResidencyTracker
+from ..net.link import Direction
+from ..net.network import Network
+from ..node.deputy import Deputy
+from ..sim import Simulator
+from ..workloads.base import Syscall
+
+#: Wire bytes per page number in a paging-request message.
+PAGE_ID_BYTES = 8
+#: Fixed header of a paging-request message.
+REQUEST_HEADER_BYTES = 16
+
+
+@runtime_checkable
+class PageService(Protocol):
+    """Answers remote paging requests and forwarded system calls."""
+
+    def request(
+        self, demand: Sequence[int], prefetch: Sequence[int], now: float
+    ) -> dict[int, float]:
+        """Send one paging request; return per-page arrival times."""
+        ...  # pragma: no cover
+
+    def forward_syscall(self, syscall: Syscall, now: float) -> float:
+        """Forward a system call to the home node; return the reply time."""
+        ...  # pragma: no cover
+
+
+class DeputyPageService:
+    """Pages served by the origin node's deputy (sections 2.1-2.2)."""
+
+    def __init__(self, request_channel: Direction, deputy: Deputy) -> None:
+        self.request_channel = request_channel
+        self.deputy = deputy
+
+    def request(
+        self, demand: Sequence[int], prefetch: Sequence[int], now: float
+    ) -> dict[int, float]:
+        n_pages = len(demand) + len(prefetch)
+        if n_pages == 0:
+            raise MigrationError("paging request without any page")
+        payload = REQUEST_HEADER_BYTES + PAGE_ID_BYTES * n_pages
+        request_arrival = self.request_channel.transfer(payload, now)
+        return self.deputy.serve_pages(demand, prefetch, request_arrival)
+
+    def forward_syscall(self, syscall: Syscall, now: float) -> float:
+        request_arrival = self.request_channel.transfer(REQUEST_HEADER_BYTES + 64, now)
+        return self.deputy.serve_syscall(
+            request_arrival, syscall.service_time, syscall.reply_bytes
+        )
+
+
+@dataclass(slots=True)
+class MigrationContext:
+    """Everything a strategy needs to perform a migration now.
+
+    ``premigration_pages`` restricts which pages exist at migration time
+    (``None`` = the whole address space); pages outside it are created by
+    the migrant on first touch.
+    """
+
+    sim: Simulator
+    network: Network
+    hardware: HardwareSpec
+    ampom: AMPoMConfig
+    src: str
+    dst: str
+    address_space: AddressSpace
+    premigration_pages: set[int] | None = None
+    #: Name of the file-server node (FFA only).
+    file_server: str | None = None
+
+    def existing_pages(self) -> set[int]:
+        if self.premigration_pages is not None:
+            return set(self.premigration_pages)
+        return set(range(self.address_space.total_pages))
+
+    def dirty_pages(self) -> set[int]:
+        dirty = set(self.address_space.dirty_pages)
+        if self.premigration_pages is not None:
+            dirty &= self.premigration_pages
+        return dirty
+
+    def freeze_trio(self) -> tuple[int, int, int]:
+        """The currently-accessed code, data, and stack pages."""
+        return self.address_space.currently_accessed_pages()
+
+
+@dataclass(slots=True)
+class MigrationOutcome:
+    """Post-freeze state handed to the migrant executor."""
+
+    strategy: str
+    freeze_time: float
+    bytes_transferred: int
+    pages_shipped: int
+    mpt: MasterPageTable
+    hpt: HomePageTable
+    residency: ResidencyTracker
+    policy: PrefetchPolicy | None
+    page_service: PageService
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class MigrationStrategy(abc.ABC):
+    """Base class for migration mechanisms."""
+
+    #: Scheme name as used in the paper's figures.
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def perform(self, ctx: MigrationContext) -> MigrationOutcome:
+        """Execute the freeze-time protocol at ``ctx.sim.now``."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _state_transfer(ctx: MigrationContext) -> float:
+        """Ship registers/PCB state; returns its arrival time."""
+        channel = ctx.network.direction(ctx.src, ctx.dst)
+        return channel.transfer(4096, ctx.sim.now)
+
+    @staticmethod
+    def _make_deputy_service(ctx: MigrationContext, hpt: HomePageTable) -> DeputyPageService:
+        reply = ctx.network.direction(ctx.src, ctx.dst)
+        request = ctx.network.direction(ctx.dst, ctx.src)
+        deputy = Deputy(hpt, reply, ctx.hardware)
+        return DeputyPageService(request, deputy)

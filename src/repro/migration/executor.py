@@ -1,0 +1,383 @@
+"""The migrant executor: runs a workload trace after migration.
+
+The executor is a cooperative DES process that walks the workload's page
+reference stream.  References to mapped pages accumulate CPU work at array
+speed; a reference to any other page takes the fault path of Algorithm 1:
+
+1. copy every prefetched page that has arrived into the address space;
+2. record the fault in the policy's lookback window and run the
+   dependent-zone analysis (charged as ``analysis`` time — figure 11);
+3. send the paging request (demand page + prefetch list) to the page
+   service; a demand request is figure 7's "page fault request";
+4. block until the demanded page arrives (a page already on the wire only
+   costs the residual delay — section 5.4's pipelining effect).
+
+Every simulated second is attributed to exactly one
+:class:`repro.metrics.timeline.TimeBudget` bucket; the integration tests
+assert the identity ``wall == freeze + compute + stall + analysis + copy +
+syscall``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import HardwareSpec
+from ..errors import MigrationError
+from ..mem.fault import FaultKind
+from ..mem.lru import LruPageCache
+from ..metrics.counters import Counters
+from ..metrics.eventlog import FaultLog
+from ..metrics.timeline import TimeBudget
+from ..node.infod import InfoDaemon
+from ..node.node import Node
+from ..sim import SimProcess, Simulator, Timeout
+from ..workloads.base import Syscall, TraceChunk, Workload
+from .base import MigrationOutcome
+
+
+@dataclass(slots=True)
+class ExecutionResult:
+    """Everything measured about one migrated execution."""
+
+    strategy: str
+    workload: str
+    memory_bytes: int
+    freeze_time: float
+    #: Wall time from resume to completion (excludes the freeze).
+    run_time: float
+    budget: TimeBudget
+    counters: Counters
+    #: Pages fetched from remote but never referenced (excess prefetching,
+    #: the quantity section 5.6 argues AMPoM keeps small).
+    wasted_pages: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        """Figure 6's quantity: freeze + post-migration execution."""
+        return self.freeze_time + self.run_time
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (used by the CLI's ``--json``)."""
+        return {
+            "strategy": self.strategy,
+            "workload": self.workload,
+            "memory_bytes": self.memory_bytes,
+            "freeze_time_s": self.freeze_time,
+            "run_time_s": self.run_time,
+            "total_time_s": self.total_time,
+            "wasted_pages": self.wasted_pages,
+            "budget": self.budget.as_dict(),
+            "counters": self.counters.as_dict(),
+            "extra": dict(self.extra),
+        }
+
+
+class MigrantExecutor:
+    """Drives one workload trace through a migration outcome."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workload: Workload,
+        outcome: MigrationOutcome,
+        node: Node,
+        hardware: HardwareSpec,
+        infod: InfoDaemon | None = None,
+        track_touched: bool = True,
+        capacity_pages: int | None = None,
+        fault_log: FaultLog | None = None,
+    ) -> None:
+        self.sim = sim
+        self.workload = workload
+        self.outcome = outcome
+        self.node = node
+        self.hardware = hardware
+        self.infod = infod
+        self.track_touched = track_touched
+        self.fault_log = fault_log
+
+        self.budget = TimeBudget()
+        self.budget.freeze = outcome.freeze_time
+        self.counters = Counters()
+        self.counters.pages_migrated = outcome.pages_shipped
+        self.result: ExecutionResult | None = None
+
+        self._touched: set[int] = set()
+        self._fetched: set[int] = set()
+        self._last_fault_time = 0.0
+        self._compute_since_fault = 0.0
+        self._window_wraps_seen = 0
+        self._holds_cpu = False
+
+        # Optional destination-memory pressure model (the paper ignores
+        # memory pressure; see DESIGN.md section 6).  Evicted pages are
+        # written back to the origin node and can be re-fetched.
+        self._lru: LruPageCache | None = None
+        if capacity_pages is not None:
+            self._lru = LruPageCache(capacity_pages)
+            for vpn in sorted(outcome.residency.mapped):
+                self._insert_resident(vpn)
+
+    # ------------------------------------------------------------------
+    def start(self) -> SimProcess:
+        """Spawn the executor in the simulator; the process's result is an
+        :class:`ExecutionResult`."""
+        return self.sim.spawn(self._run(), name=f"migrant-{self.workload.name}")
+
+    # ------------------------------------------------------------------
+    # conditions for the prefetcher when no monitoring daemon is attached
+    # ------------------------------------------------------------------
+    def _static_conditions(self):
+        from ..core.policy import LinkConditions
+
+        service = self.outcome.page_service
+        reply = getattr(service, "reply_channel", None)
+        request = getattr(service, "request_channel", None)
+        if reply is None or request is None:
+            deputy = getattr(service, "deputy", None)
+            reply = deputy.reply_channel if deputy is not None else None
+        if reply is None or request is None:
+            raise MigrationError(
+                "prefetching needs either an InfoDaemon or a deputy-backed page service"
+            )
+        rtt = reply.latency_s + request.latency_s
+        return LinkConditions(
+            rtt_s=rtt,
+            available_bw_bps=reply.bandwidth_bps,
+            cpu_share=self.node.cpu.share(),
+        )
+
+    def _conditions(self):
+        if self.infod is not None:
+            return self.infod.conditions()
+        return self._static_conditions()
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def _run(self):
+        sim = self.sim
+        res = self.outcome.residency
+        mapped = res.mapped  # direct reference: the hot-path set
+        cpu = self.node.cpu
+        creates = self.workload.creates_pages
+        start_time = sim.now
+        self._last_fault_time = start_time
+        self._acquire_cpu()
+        try:
+            for event in self.workload.trace():
+                if isinstance(event, Syscall):
+                    yield from self._syscall(event)
+                    continue
+                chunk: TraceChunk = event
+                if self.track_touched:
+                    self._touched.update(np.unique(chunk.pages).tolist())
+                # Fast path: everything the trace can touch is mapped (not
+                # available under the memory-pressure model, which must see
+                # every reference to keep LRU recency).
+                if (
+                    self._lru is None
+                    and not creates
+                    and res.n_remote == 0
+                    and res.n_in_flight == 0
+                    and res.n_buffered == 0
+                ):
+                    yield from self._compute(chunk.total_compute)
+                    continue
+                acc = 0.0
+                lru = self._lru
+                for vpn, work in zip(chunk.pages.tolist(), chunk.compute.tolist()):
+                    if vpn in mapped:
+                        if lru is not None:
+                            lru.touch(vpn)
+                        acc += work
+                        continue
+                    if acc > 0.0:
+                        yield from self._compute(acc)
+                        acc = 0.0
+                    yield from self._fault(vpn)
+                    acc += work
+                if acc > 0.0:
+                    yield from self._compute(acc)
+        finally:
+            self._release_cpu()
+        run_time = sim.now - start_time
+        self.result = ExecutionResult(
+            strategy=self.outcome.strategy,
+            workload=self.workload.name,
+            memory_bytes=self.workload.memory_bytes,
+            freeze_time=self.outcome.freeze_time,
+            run_time=run_time,
+            budget=self.budget,
+            counters=self.counters,
+            wasted_pages=len(self._fetched - self._touched) if self.track_touched else 0,
+            extra=dict(self.outcome.extra),
+        )
+        return self.result
+
+    # ------------------------------------------------------------------
+    # memory-pressure model
+    # ------------------------------------------------------------------
+    def _insert_resident(self, vpn: int) -> None:
+        """Register a newly mapped page with the LRU; evict if over capacity.
+
+        An evicted page is written back to the home node (it is dirty —
+        every page of these workloads is) and both page tables are updated
+        per section 2.2: the MPT entry flips to HOME and the HPT stores the
+        copy again, so a later touch re-fetches it.
+        """
+        assert self._lru is not None
+        victim = self._lru.insert(vpn)
+        if victim is None:
+            return
+        res = self.outcome.residency
+        res.unmap(victim)
+        self.outcome.mpt.mark_home(victim)
+        self.outcome.hpt.store(victim)
+        self.counters.pages_evicted += 1
+        writeback = getattr(self.outcome.page_service, "request_channel", None)
+        if writeback is not None:
+            # Write-behind: occupies the uplink but does not stall us.
+            writeback.transfer_page(self.hardware.page_size, self.sim.now)
+
+    # ------------------------------------------------------------------
+    def _acquire_cpu(self) -> None:
+        if not self._holds_cpu:
+            self.node.cpu.acquire()
+            self._holds_cpu = True
+
+    def _release_cpu(self) -> None:
+        if self._holds_cpu:
+            self.node.cpu.release()
+            self._holds_cpu = False
+
+    # ------------------------------------------------------------------
+    def _compute(self, cpu_work: float):
+        """Consume ``cpu_work`` seconds of CPU under the current load."""
+        wall = cpu_work * self.node.cpu.stretch()
+        yield Timeout(wall)
+        self.budget.add("compute", wall)
+        self.node.cpu.charge(cpu_work)
+        self._compute_since_fault += cpu_work
+
+    def _copy_buffered(self, res):
+        """Map every buffered page; charge the copy cost."""
+        copied = res.map_buffered()
+        if not copied:
+            return
+        mpt = self.outcome.mpt
+        for vpn in copied:
+            mpt.mark_local(vpn)
+            if self._lru is not None:
+                self._insert_resident(vpn)
+        self.counters.pages_copied += len(copied)
+        wall = len(copied) * self.hardware.page_copy_time * self.node.cpu.stretch()
+        yield Timeout(wall)
+        self.budget.add("copy", wall)
+
+    def _fault(self, vpn: int):
+        sim = self.sim
+        res = self.outcome.residency
+        now = sim.now
+
+        # C_i: CPU share consumed since the previous fault.
+        elapsed = now - self._last_fault_time
+        if elapsed > 1e-12:
+            cpu_sample = min(self._compute_since_fault / elapsed, 1.0)
+        else:
+            cpu_sample = self.node.cpu.share()
+
+        # Step 1 of Algorithm 1: copy arrived prefetched pages in.
+        res.absorb_arrivals(now)
+        yield from self._copy_buffered(res)
+
+        # Classify the fault.
+        if vpn in res.mapped:
+            kind = FaultKind.MINOR_BUFFERED
+            self.counters.minor_buffered_faults += 1
+        elif vpn in res.in_flight:
+            kind = FaultKind.IN_FLIGHT_WAIT
+            self.counters.inflight_waits += 1
+        elif res.is_remote(vpn):
+            kind = FaultKind.MAJOR
+            self.counters.major_faults += 1
+        else:
+            kind = FaultKind.MINOR_CREATE
+            self.counters.create_faults += 1
+
+        # Steps 2-4: record, analyse, decide the prefetch set.
+        policy = self.outcome.policy
+        prefetch: list[int] = []
+        if policy is not None:
+            prefetch = policy.on_fault(
+                vpn, sim.now, cpu_sample, res, self._conditions()
+            )
+            if policy.analysis_time > 0.0:
+                wall = policy.analysis_time * self.node.cpu.stretch()
+                yield Timeout(wall)
+                self.budget.add("analysis", wall)
+                self.node.cpu.charge(policy.analysis_time)
+            window = getattr(policy, "window", None)
+            if (
+                window is not None
+                and self.infod is not None
+                and window.wraps > self._window_wraps_seen
+            ):
+                self._window_wraps_seen = window.wraps
+                self.infod.on_window_wrap()
+
+        self._last_fault_time = sim.now
+        self._compute_since_fault = 0.0
+
+        # Step 5: send the paging request.
+        service = self.outcome.page_service
+        if kind is FaultKind.MAJOR:
+            self.counters.demand_requests += 1
+            self.counters.pages_demand_fetched += 1
+            self.counters.pages_prefetched += len(prefetch)
+            arrivals = service.request([vpn], prefetch, sim.now)
+            for page, t in arrivals.items():
+                res.start_fetch(page, t)
+                self._fetched.add(page)
+        elif prefetch:
+            self.counters.prefetch_requests += 1
+            self.counters.pages_prefetched += len(prefetch)
+            arrivals = service.request([], prefetch, sim.now)
+            for page, t in arrivals.items():
+                res.start_fetch(page, t)
+                self._fetched.add(page)
+
+        # Step 6: resolve the faulting page.
+        stall = 0.0
+        if kind is FaultKind.MINOR_CREATE:
+            res.map_created(vpn)
+            self.outcome.mpt.record_creation(vpn)
+            if self._lru is not None:
+                self._insert_resident(vpn)
+        elif kind in (FaultKind.MAJOR, FaultKind.IN_FLIGHT_WAIT):
+            arrival = res.arrival_time(vpn)
+            stall = max(arrival - sim.now, 0.0)
+            if stall > 0.0:
+                self._release_cpu()
+                yield Timeout(stall)
+                self._acquire_cpu()
+                self.budget.add("stall", stall)
+            res.absorb_arrivals(sim.now)
+            yield from self._copy_buffered(res)
+        if self.fault_log is not None:
+            self.fault_log.record(now, vpn, kind, len(prefetch), stall)
+
+    # ------------------------------------------------------------------
+    def _syscall(self, syscall: Syscall):
+        service = self.outcome.page_service
+        self.counters.syscalls_forwarded += 1
+        reply_at = service.forward_syscall(syscall, self.sim.now)
+        wait = max(reply_at - self.sim.now, 0.0)
+        self._release_cpu()
+        yield Timeout(wait)
+        self._acquire_cpu()
+        self.budget.add("syscall", wait)

@@ -1,0 +1,180 @@
+"""Roush & Campbell's original Freeze-Free Algorithm (related work).
+
+Paper section 2.1 / figure 2 (middle): FFA ships the current heap, code,
+and stack page during the freeze; afterwards the origin pushes the
+remaining stack pages to the migrant and *flushes all dirty pages to a
+file server*; the migrant's page faults are then served by the file
+server.  A fault for a page that has not been flushed yet must wait for
+its flush to complete — the price of freeing the origin node early.
+
+System calls still go to the origin's deputy (the home dependency is an
+openMosix property, not an FFA one, but we keep it for comparability).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import MemoryStateError, MigrationError
+from ..mem.page_table import HomePageTable, MasterPageTable
+from ..mem.residency import ResidencyTracker
+from ..net.link import Direction
+from ..node.deputy import Deputy
+from ..workloads.base import Syscall
+from .base import (
+    PAGE_ID_BYTES,
+    REQUEST_HEADER_BYTES,
+    MigrationContext,
+    MigrationOutcome,
+    MigrationStrategy,
+)
+
+
+class FileServerPageService:
+    """Serves faults from the file server, honouring flush completion.
+
+    ``flush_times`` maps each page to the moment its copy reaches the file
+    server; a request for it cannot be answered earlier.
+    """
+
+    def __init__(
+        self,
+        request_channel: Direction,
+        reply_channel: Direction,
+        flush_times: dict[int, float],
+        page_size: int,
+        server_page_time: float,
+        deputy_request_channel: Direction,
+        deputy: Deputy,
+        paging_overhead_bytes: int = 0,
+    ) -> None:
+        self.request_channel = request_channel
+        self.reply_channel = reply_channel
+        self.flush_times = flush_times
+        self.page_size = page_size
+        self.server_page_time = server_page_time
+        self.paging_overhead_bytes = paging_overhead_bytes
+        self.deputy_request_channel = deputy_request_channel
+        self.deputy = deputy
+        self.server_busy_until = 0.0
+        self.pages_served = 0
+
+    def request(
+        self, demand: Sequence[int], prefetch: Sequence[int], now: float
+    ) -> dict[int, float]:
+        pages = list(demand) + list(prefetch)
+        if not pages:
+            raise MigrationError("paging request without any page")
+        payload = REQUEST_HEADER_BYTES + PAGE_ID_BYTES * len(pages)
+        request_arrival = self.request_channel.transfer(payload, now)
+        arrivals: dict[int, float] = {}
+        clock = max(request_arrival, self.server_busy_until)
+        for vpn in pages:
+            try:
+                flushed_at = self.flush_times.pop(vpn)
+            except KeyError:
+                raise MemoryStateError(f"page {vpn} is not stored on the file server")
+            clock = max(clock, flushed_at) + self.server_page_time
+            arrivals[vpn] = self.reply_channel.transfer(
+                self.page_size + self.paging_overhead_bytes, clock
+            )
+            self.pages_served += 1
+        self.server_busy_until = clock
+        return arrivals
+
+    def forward_syscall(self, syscall: Syscall, now: float) -> float:
+        request_arrival = self.deputy_request_channel.transfer(REQUEST_HEADER_BYTES + 64, now)
+        return self.deputy.serve_syscall(
+            request_arrival, syscall.service_time, syscall.reply_bytes
+        )
+
+
+class FfaMigration(MigrationStrategy):
+    name = "FFA"
+
+    def perform(self, ctx: MigrationContext) -> MigrationOutcome:
+        if ctx.file_server is None:
+            raise MigrationError("FFA needs ctx.file_server (a third node)")
+        now = ctx.sim.now
+        hw = ctx.hardware
+        to_dst = ctx.network.direction(ctx.src, ctx.dst)
+        to_fs = ctx.network.direction(ctx.src, ctx.file_server)
+        existing = ctx.existing_pages()
+        trio = [vpn for vpn in ctx.freeze_trio() if vpn in existing]
+
+        self._state_transfer(ctx)
+        arrival = now
+        payload = 0
+        for _vpn in trio:
+            arrival = to_dst.transfer_page(hw.page_size, ctx.sim.now)
+            payload += hw.page_size + to_dst.per_page_overhead_bytes
+        freeze_time = hw.migration_setup_time + (arrival - now)
+
+        # Post-freeze background work at the origin:
+        # 1. push the remaining stack pages straight to the migrant;
+        stack = ctx.address_space.stack
+        stack_rest = [
+            vpn
+            for vpn in range(stack.start_page, stack.end_page)
+            if vpn in existing and vpn not in trio
+        ]
+        pushed: dict[int, float] = {}
+        for vpn in stack_rest:
+            pushed[vpn] = to_dst.transfer_page(hw.page_size, now + freeze_time)
+        # 2. flush every remaining dirty page to the file server, in page
+        #    order, starting when the freeze ends.
+        flush_order = sorted(ctx.dirty_pages() - set(trio) - set(stack_rest))
+        flush_times: dict[int, float] = {}
+        for vpn in flush_order:
+            # The FIFO channel serializes the flush stream by itself.
+            flush_times[vpn] = to_fs.transfer_page(hw.page_size, now + freeze_time)
+        flush_complete = max(flush_times.values(), default=now + freeze_time)
+        # Clean pages (code) come from the file server immediately.
+        for vpn in existing - set(trio) - set(stack_rest) - set(flush_order):
+            flush_times[vpn] = now + freeze_time
+
+        mpt, hpt = MasterPageTable.from_migration(
+            existing, trio, entry_bytes=hw.mpt_entry_bytes
+        )
+        residency = ResidencyTracker(
+            remote_pages=existing - set(trio), mapped_pages=trio
+        )
+        # Pushed stack pages arrive unbidden; model them as in flight.
+        for vpn, t in pushed.items():
+            residency.start_fetch(vpn, t)
+            hpt.release(vpn)
+        # The origin hands everything else to the file server.
+        for vpn in flush_order:
+            hpt.release(vpn)
+        for vpn in sorted((existing - set(trio) - set(pushed)) - set(flush_order)):
+            if vpn in hpt:
+                hpt.release(vpn)
+
+        deputy = Deputy(hpt, to_dst, hw)
+        service = FileServerPageService(
+            request_channel=ctx.network.direction(ctx.dst, ctx.file_server),
+            reply_channel=ctx.network.direction(ctx.file_server, ctx.dst),
+            flush_times=flush_times,
+            page_size=hw.page_size,
+            server_page_time=hw.deputy_page_time,
+            deputy_request_channel=ctx.network.direction(ctx.dst, ctx.src),
+            deputy=deputy,
+            paging_overhead_bytes=hw.remote_paging_overhead_bytes,
+        )
+        from ..core.policy import NoPrefetchPolicy
+
+        return MigrationOutcome(
+            strategy=self.name,
+            freeze_time=freeze_time,
+            bytes_transferred=payload,
+            pages_shipped=len(trio),
+            mpt=mpt,
+            hpt=hpt,
+            residency=residency,
+            policy=NoPrefetchPolicy(),
+            page_service=service,
+            extra={
+                "flush_complete_s": flush_complete - now,
+                "flushed_pages": float(len(flush_order)),
+            },
+        )

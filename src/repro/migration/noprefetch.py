@@ -1,0 +1,55 @@
+"""The "NoPrefetch" baseline: FFA-style minimal freeze, pure demand paging.
+
+Paper section 5.1: "a variant of FFA in which the same three pages (code,
+stack, and data) would still be transferred during migration, but all
+missing pages would be fetched (without prefetch) from the original node
+rather than from the file server".  Its freeze time is flat and minimal
+(figure 5) but every first touch costs a blocking round trip, which is the
+20-51% runtime penalty of figure 6.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import NoPrefetchPolicy
+from ..mem.page_table import MasterPageTable
+from ..mem.residency import ResidencyTracker
+from .base import MigrationContext, MigrationOutcome, MigrationStrategy
+
+
+class NoPrefetchMigration(MigrationStrategy):
+    name = "NoPrefetch"
+
+    def perform(self, ctx: MigrationContext) -> MigrationOutcome:
+        now = ctx.sim.now
+        hw = ctx.hardware
+        channel = ctx.network.direction(ctx.src, ctx.dst)
+        existing = ctx.existing_pages()
+        trio = [vpn for vpn in ctx.freeze_trio() if vpn in existing]
+
+        self._state_transfer(ctx)
+        arrival = now
+        payload = 0
+        for _vpn in trio:
+            arrival = channel.transfer_page(hw.page_size, ctx.sim.now)
+            payload += hw.page_size + channel.per_page_overhead_bytes
+        freeze_time = hw.migration_setup_time + (arrival - now)
+
+        mpt, hpt = MasterPageTable.from_migration(
+            existing, trio, entry_bytes=hw.mpt_entry_bytes
+        )
+        residency = ResidencyTracker(
+            remote_pages=existing - set(trio), mapped_pages=trio
+        )
+        service = self._make_deputy_service(ctx, hpt)
+
+        return MigrationOutcome(
+            strategy=self.name,
+            freeze_time=freeze_time,
+            bytes_transferred=payload,
+            pages_shipped=len(trio),
+            mpt=mpt,
+            hpt=hpt,
+            residency=residency,
+            policy=NoPrefetchPolicy(),
+            page_service=service,
+        )

@@ -1,0 +1,54 @@
+"""Stock openMosix migration: all dirty pages shipped during the freeze.
+
+Paper section 2.1: "In openMosix, all dirty pages in the address space are
+transferred to the destination node during migration.  Because the dirty
+pages usually dominate the address space, the freeze time in this approach
+would grow almost linearly with the size of the address space."  After the
+freeze the migrant never faults remotely (figure 2, left), which is why the
+paper treats openMosix's execution time as the optimum the other schemes
+chase — at the price of figure 5's tens-of-seconds freezes.
+"""
+
+from __future__ import annotations
+
+from ..mem.page_table import MasterPageTable
+from ..mem.residency import ResidencyTracker
+from .base import MigrationContext, MigrationOutcome, MigrationStrategy
+
+
+class OpenMosixMigration(MigrationStrategy):
+    name = "openMosix"
+
+    def perform(self, ctx: MigrationContext) -> MigrationOutcome:
+        now = ctx.sim.now
+        hw = ctx.hardware
+        channel = ctx.network.direction(ctx.src, ctx.dst)
+        existing = ctx.existing_pages()
+        dirty = sorted(ctx.dirty_pages())
+
+        self._state_transfer(ctx)
+        # One bulk stream of every dirty page (page payload + per-page
+        # protocol overhead each, a single message-level header).
+        bulk_payload = len(dirty) * (hw.page_size + channel.per_page_overhead_bytes)
+        arrival = channel.transfer(bulk_payload, ctx.sim.now)
+        freeze_time = hw.migration_setup_time + (arrival - now)
+
+        # Everything is local afterwards; clean pages (code) are backed by
+        # the local file system at the destination, as in openMosix.
+        mpt, hpt = MasterPageTable.from_migration(
+            existing, existing, entry_bytes=hw.mpt_entry_bytes
+        )
+        residency = ResidencyTracker(remote_pages=(), mapped_pages=existing)
+        service = self._make_deputy_service(ctx, hpt)  # empty HPT; syscalls only
+
+        return MigrationOutcome(
+            strategy=self.name,
+            freeze_time=freeze_time,
+            bytes_transferred=bulk_payload + channel.per_message_overhead_bytes,
+            pages_shipped=len(dirty),
+            mpt=mpt,
+            hpt=hpt,
+            residency=residency,
+            policy=None,
+            page_service=service,
+        )

@@ -1,0 +1,120 @@
+"""Point-to-point links: latency + bandwidth + FIFO serialization.
+
+A :class:`Direction` is a one-way channel.  A transfer submitted at time
+``now`` starts serializing when the channel is free (``max(now,
+busy_until)``), occupies it for ``size / bandwidth`` seconds, and arrives
+``latency`` seconds after serialization completes.  This reproduces the two
+quantities AMPoM's formula for the prefetch horizon needs (paper eq. 3):
+the round-trip latency ``2 * t0`` and the per-page transfer time ``td``,
+including queuing delay when the channel is saturated by prefetch traffic.
+
+Every transfer is logged (start, end, size) so the monitoring daemon can
+read "RX/TX bytes" counters at arbitrary times, exactly like the paper's
+``/sbin/ifconfig`` sampling.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..config import NetworkSpec
+from ..errors import NetworkError
+
+
+class Direction:
+    """One direction of a duplex link."""
+
+    def __init__(self, spec: NetworkSpec, name: str = "") -> None:
+        self.name = name
+        self.bandwidth_bps = spec.bandwidth_bps
+        self.latency_s = spec.latency_s
+        self.per_message_overhead_bytes = spec.per_message_overhead_bytes
+        self.per_page_overhead_bytes = spec.per_page_overhead_bytes
+        self.busy_until = 0.0
+        self.total_bytes = 0
+        self.total_messages = 0
+        # Parallel arrays logging each transfer for counter reads.
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._cum_bytes: list[int] = []
+
+    # ------------------------------------------------------------------
+    def reconfigure(self, bandwidth_bps: float, latency_s: float) -> None:
+        """Change rate/delay for *future* transfers (traffic shaping).
+
+        In-flight transfers keep their original timing, mirroring how a
+        ``tc`` qdisc change affects only newly enqueued packets.
+        """
+        if bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth must be positive: {bandwidth_bps}")
+        if latency_s < 0:
+            raise NetworkError(f"latency must be non-negative: {latency_s}")
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+
+    def transfer(self, payload_bytes: int, now: float) -> float:
+        """Submit a message; return its arrival time at the far end."""
+        if payload_bytes < 0:
+            raise NetworkError(f"payload_bytes must be non-negative: {payload_bytes}")
+        size = payload_bytes + self.per_message_overhead_bytes
+        start = self.busy_until if self.busy_until > now else now
+        end = start + size / self.bandwidth_bps
+        self.busy_until = end
+        self.total_bytes += size
+        self.total_messages += 1
+        self._starts.append(start)
+        self._ends.append(end)
+        prev = self._cum_bytes[-1] if self._cum_bytes else 0
+        self._cum_bytes.append(prev + size)
+        return end + self.latency_s
+
+    def transfer_page(self, page_size: int, now: float) -> float:
+        """Submit one page payload (page + per-page protocol overhead)."""
+        return self.transfer(page_size + self.per_page_overhead_bytes, now)
+
+    # ------------------------------------------------------------------
+    def queuing_delay(self, now: float) -> float:
+        """How long a message submitted now would wait before serializing."""
+        return max(0.0, self.busy_until - now)
+
+    def bytes_sent_by(self, t: float) -> float:
+        """Cumulative bytes that have finished (or partially finished)
+        serializing by time ``t`` — the simulated interface TX counter."""
+        i = bisect_right(self._ends, t)
+        done = float(self._cum_bytes[i - 1]) if i > 0 else 0.0
+        if i < len(self._starts) and self._starts[i] < t:
+            start, end = self._starts[i], self._ends[i]
+            size = self._cum_bytes[i] - (self._cum_bytes[i - 1] if i > 0 else 0)
+            done += size * (t - start) / (end - start)
+        return done
+
+
+class Link:
+    """A duplex link between two named endpoints."""
+
+    def __init__(self, a: str, b: str, spec: NetworkSpec) -> None:
+        if a == b:
+            raise NetworkError(f"cannot link node {a!r} to itself")
+        self.a = a
+        self.b = b
+        self.spec = spec
+        self._directions = {
+            (a, b): Direction(spec, name=f"{a}->{b}"),
+            (b, a): Direction(spec, name=f"{b}->{a}"),
+        }
+
+    def direction(self, src: str, dst: str) -> Direction:
+        """The one-way channel from ``src`` to ``dst``."""
+        try:
+            return self._directions[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"link {self.a!r}<->{self.b!r} does not connect {src!r}->{dst!r}")
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+    def reconfigure(self, bandwidth_bps: float, latency_s: float) -> None:
+        """Reshape both directions (symmetric shaping, as in the paper)."""
+        for direction in self._directions.values():
+            direction.reconfigure(bandwidth_bps, latency_s)

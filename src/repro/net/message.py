@@ -1,0 +1,48 @@
+"""Message types exchanged between the migrant and its home node."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MessageKind(enum.Enum):
+    """Wire-protocol message categories."""
+
+    #: Blocking remote page-fault request (may carry piggybacked prefetches).
+    PAGE_REQUEST = "page_request"
+    #: Prefetch-only request sent on a non-blocking (minor) fault.
+    PREFETCH_REQUEST = "prefetch_request"
+    #: A single page payload travelling home -> migrant.
+    PAGE_REPLY = "page_reply"
+    #: Bulk address-space transfer during an openMosix-style freeze.
+    MIGRATION_BULK = "migration_bulk"
+    #: Master page table transfer (AMPoM migration).
+    PAGE_TABLE = "page_table"
+    #: Forwarded system call and its reply (home dependency, section 7).
+    SYSCALL = "syscall"
+    SYSCALL_REPLY = "syscall_reply"
+    #: oM_infoD load-update probe and acknowledgement.
+    LOAD_UPDATE = "load_update"
+    LOAD_ACK = "load_ack"
+
+
+@dataclass(slots=True)
+class Message:
+    """A simulated datagram.
+
+    ``payload_bytes`` is the application payload; per-message wire overhead
+    is added by the link.  ``body`` carries structured simulation data (page
+    numbers etc.) that a real system would serialize into the payload.
+    """
+
+    kind: MessageKind
+    src: str
+    dst: str
+    payload_bytes: int
+    body: Any = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative: {self.payload_bytes}")

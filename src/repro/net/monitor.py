@@ -1,0 +1,93 @@
+"""Estimators backing the oM_infoD daemon's network measurements.
+
+The paper (section 4) measures:
+
+* round-trip time ``t0`` — "how long it would take to receive an
+  acknowledgement from a remote node after a load update is sent out";
+* available bandwidth — "a comparison of the current and past values of the
+  'RX/TX bytes' fields outputted by /sbin/ifconfig".
+
+Both are *measurements of a possibly loaded link*, which is what makes
+AMPoM prefetch more aggressively when the network is busy: a saturated
+channel inflates the measured RTT and deflates the available bandwidth,
+growing the prefetch horizon ``t`` in eq. 3.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetworkError
+from .link import Direction
+
+
+class RttEstimator:
+    """Exponentially smoothed round-trip time estimate."""
+
+    def __init__(self, smoothing: float = 0.5, initial: float | None = None) -> None:
+        if not (0.0 < smoothing <= 1.0):
+            raise NetworkError(f"smoothing must be in (0, 1]: {smoothing}")
+        self.smoothing = smoothing
+        self._estimate = initial
+
+    @property
+    def estimate(self) -> float | None:
+        return self._estimate
+
+    def observe(self, rtt: float) -> float:
+        """Fold one measured round trip into the estimate."""
+        if rtt < 0:
+            raise NetworkError(f"rtt must be non-negative: {rtt}")
+        if self._estimate is None:
+            self._estimate = rtt
+        else:
+            a = self.smoothing
+            self._estimate = a * rtt + (1.0 - a) * self._estimate
+        return self._estimate
+
+
+class BandwidthEstimator:
+    """Available-bandwidth estimate from interface byte-counter deltas.
+
+    ``observe(t)`` reads the simulated TX counter of the monitored
+    direction (the home -> migrant channel that carries page traffic),
+    computes the throughput since the previous read, and reports
+    ``capacity - used`` clamped to ``min_fraction * capacity``.
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        min_fraction: float = 0.05,
+        smoothing: float = 0.5,
+    ) -> None:
+        if not (0.0 < min_fraction <= 1.0):
+            raise NetworkError(f"min_fraction must be in (0, 1]: {min_fraction}")
+        self.direction = direction
+        self.min_fraction = min_fraction
+        self.smoothing = smoothing
+        self._last_time: float | None = None
+        self._last_bytes = 0.0
+        self._available: float | None = None
+
+    @property
+    def available_bps(self) -> float:
+        """Current available-bandwidth estimate (defaults to capacity)."""
+        if self._available is None:
+            return self.direction.bandwidth_bps
+        return self._available
+
+    def observe(self, now: float) -> float:
+        """Sample the TX counter at ``now`` and update the estimate."""
+        counter = self.direction.bytes_sent_by(now)
+        if self._last_time is not None and now > self._last_time:
+            used = (counter - self._last_bytes) / (now - self._last_time)
+            capacity = self.direction.bandwidth_bps
+            floor = self.min_fraction * capacity
+            fresh = max(capacity - used, floor)
+            if self._available is None:
+                self._available = fresh
+            else:
+                a = self.smoothing
+                self._available = a * fresh + (1.0 - a) * self._available
+        self._last_time = now
+        self._last_bytes = counter
+        return self.available_bps

@@ -1,0 +1,52 @@
+"""Traffic shaping, emulating the paper's ``tc``/``iptables`` setup.
+
+Section 5.5 simulates a broadband network (6 Mb/s, 2 ms) on top of Fast
+Ethernet by shaping the link.  :class:`TrafficShaper` applies and reverts
+rate/delay limits on a :class:`repro.net.link.Link`; shaping can also be
+scheduled mid-run to test AMPoM's adaptation to changing conditions.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetworkError
+from ..sim import Simulator
+from .link import Link
+
+
+class TrafficShaper:
+    """Applies rate/latency limits to a link, like a ``tc`` qdisc."""
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self._native = (link.spec.bandwidth_bps, link.spec.latency_s)
+        self._active: tuple[float, float] | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._active is not None
+
+    @property
+    def current(self) -> tuple[float, float]:
+        """(bandwidth_bps, latency_s) currently in force."""
+        return self._active if self._active is not None else self._native
+
+    def apply(self, bandwidth_bps: float, latency_s: float) -> None:
+        """Shape the link (both directions) from now on."""
+        native_bw, _ = self._native
+        if bandwidth_bps > native_bw:
+            raise NetworkError(
+                f"cannot shape above native capacity ({bandwidth_bps} > {native_bw})"
+            )
+        self.link.reconfigure(bandwidth_bps, latency_s)
+        self._active = (bandwidth_bps, latency_s)
+
+    def revert(self) -> None:
+        """Remove shaping, restoring native link parameters."""
+        self.link.reconfigure(*self._native)
+        self._active = None
+
+    def schedule(
+        self, sim: Simulator, at: float, bandwidth_bps: float, latency_s: float
+    ) -> None:
+        """Apply the shape at absolute simulated time ``at``."""
+        sim.schedule_at(at, lambda: self.apply(bandwidth_bps, latency_s))

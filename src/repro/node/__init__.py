@@ -1,0 +1,18 @@
+"""Cluster-node model.
+
+* :mod:`repro.node.cpu` — proportional-share CPU with utilization
+  accounting (feeds the ``c``/``c'`` terms of eq. 3).
+* :mod:`repro.node.node` — a node: CPU + RAM + link endpoint + processes.
+* :mod:`repro.node.deputy` — the origin-side deputy process that answers
+  remote paging requests and forwarded system calls (paper sections 2.2
+  and 7).
+* :mod:`repro.node.infod` — the resource discovery and monitoring daemon
+  (modified oM_infoD, paper sections 2.4 and 4).
+"""
+
+from .cpu import CpuModel
+from .deputy import Deputy
+from .infod import InfoDaemon
+from .node import Node
+
+__all__ = ["CpuModel", "Deputy", "InfoDaemon", "Node"]

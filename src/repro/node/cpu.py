@@ -1,0 +1,63 @@
+"""Proportional-share CPU model.
+
+A node's CPU is shared equally among its runnable processes, like the
+Linux 2.4 scheduler does for equal-priority CPU-bound tasks.  A process
+computing for ``w`` seconds of CPU work therefore occupies
+``w / share()`` seconds of wall time.  The model also accumulates busy
+time so the monitoring daemon can report node utilization.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class CpuModel:
+    """CPU sharing and utilization accounting for one node."""
+
+    def __init__(self, cpu_hz: float) -> None:
+        if cpu_hz <= 0:
+            raise SimulationError(f"cpu_hz must be positive: {cpu_hz}")
+        self.cpu_hz = cpu_hz
+        self._runnable = 0
+        self._busy_time = 0.0
+
+    @property
+    def runnable(self) -> int:
+        """Number of currently runnable (CPU-demanding) processes."""
+        return self._runnable
+
+    def share(self) -> float:
+        """CPU fraction available to one additional runnable process."""
+        return 1.0 / max(self._runnable, 1)
+
+    def acquire(self) -> None:
+        """A process became runnable on this CPU."""
+        self._runnable += 1
+
+    def release(self) -> None:
+        """A runnable process blocked or exited."""
+        if self._runnable <= 0:
+            raise SimulationError("release() without matching acquire()")
+        self._runnable -= 1
+
+    # ------------------------------------------------------------------
+    def stretch(self) -> float:
+        """Wall-time multiplier for CPU work under the current load.
+
+        With ``k`` runnable processes (including the one asking), each gets
+        ``1/k`` of the CPU, so work takes ``k`` times longer.
+        """
+        return float(max(self._runnable, 1))
+
+    def charge(self, cpu_seconds: float) -> None:
+        """Account ``cpu_seconds`` of busy time (for utilization reports)."""
+        if cpu_seconds < 0:
+            raise SimulationError(f"cannot charge negative CPU time: {cpu_seconds}")
+        self._busy_time += cpu_seconds
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean utilization over ``elapsed`` wall seconds since start."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self._busy_time / elapsed, 1.0)

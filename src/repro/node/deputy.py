@@ -1,0 +1,92 @@
+"""The deputy: the origin-side remnant of a migrated process.
+
+Paper section 2.2: after migration "the original process instance will be
+switched to a 'deputy' process which only answers remote paging requests
+and executes system calls on behalf of the migrant".  The deputy owns the
+home page table; when it ships a page it deletes the origin copy.
+
+The deputy is modelled as a deterministic server: a request arriving at
+time ``a`` starts service at ``max(a, busy_until)``, pays a per-request
+cost plus a per-page lookup cost, and streams the pages onto the
+origin -> destination channel in order (demand page first), which is what
+produces the pipelining effect of section 5.4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import HardwareSpec
+from ..errors import MemoryStateError
+from ..mem.page_table import HomePageTable
+from ..net.link import Direction
+
+
+class Deputy:
+    """Remote paging / syscall server on the origin node."""
+
+    def __init__(
+        self,
+        hpt: HomePageTable,
+        reply_channel: Direction,
+        hardware: HardwareSpec,
+    ) -> None:
+        self.hpt = hpt
+        self.reply_channel = reply_channel
+        self.hardware = hardware
+        self.busy_until = 0.0
+        self.requests_served = 0
+        self.pages_served = 0
+        self.syscalls_served = 0
+
+    # ------------------------------------------------------------------
+    def serve_pages(
+        self,
+        demand: Sequence[int],
+        prefetch: Sequence[int],
+        request_arrival: float,
+    ) -> dict[int, float]:
+        """Process one paging request; return each page's arrival time at
+        the migrant.
+
+        ``demand`` pages are served first so a blocked process resumes as
+        soon as possible; ``prefetch`` pages follow in request order.
+        Every served page is deleted from the origin (HPT release).
+        """
+        hw = self.hardware
+        start = max(request_arrival, self.busy_until)
+        clock = start + hw.deputy_request_time
+        arrivals: dict[int, float] = {}
+        for vpn in list(demand) + list(prefetch):
+            if vpn in arrivals:
+                raise MemoryStateError(f"page {vpn} requested twice in one message")
+            if vpn not in self.hpt:
+                raise MemoryStateError(
+                    f"page {vpn} requested but the origin no longer stores it"
+                )
+            clock += hw.deputy_page_time
+            self.hpt.release(vpn)
+            arrivals[vpn] = self.reply_channel.transfer(
+                hw.page_size + hw.remote_paging_overhead_bytes, clock
+            )
+            self.pages_served += 1
+        self.busy_until = clock
+        self.requests_served += 1
+        return arrivals
+
+    # ------------------------------------------------------------------
+    def serve_syscall(
+        self,
+        request_arrival: float,
+        service_time: float,
+        reply_payload_bytes: int = 64,
+    ) -> float:
+        """Execute a forwarded system call; return the reply's arrival time
+        at the migrant (the home-dependency cost of section 7)."""
+        if service_time < 0:
+            raise MemoryStateError(f"service_time must be non-negative: {service_time}")
+        start = max(request_arrival, self.busy_until)
+        done = start + self.hardware.deputy_request_time + service_time
+        self.busy_until = done
+        self.syscalls_served += 1
+        return self.reply_channel.transfer(reply_payload_bytes, done)

@@ -1,0 +1,46 @@
+"""A cluster node: CPU + memory + a name on the network."""
+
+from __future__ import annotations
+
+from ..config import HardwareSpec
+from ..errors import ConfigurationError
+from .cpu import CpuModel
+
+
+class Node:
+    """One machine of the simulated cluster.
+
+    Nodes are intentionally thin: the interesting state lives in the CPU
+    model (load/utilization) and in per-process structures (address space,
+    residency).  ``capacity_pages`` backs the optional LRU model.
+    """
+
+    def __init__(self, name: str, hardware: HardwareSpec) -> None:
+        if not name:
+            raise ConfigurationError("node name must be non-empty")
+        self.name = name
+        self.hardware = hardware
+        self.cpu = CpuModel(hardware.cpu_hz)
+        self.processes: list[object] = []
+
+    @property
+    def capacity_pages(self) -> int:
+        """RAM capacity expressed in pages."""
+        return self.hardware.ram_bytes // self.hardware.page_size
+
+    @property
+    def load(self) -> int:
+        """openMosix-style load metric: runnable process count."""
+        return self.cpu.runnable
+
+    def attach(self, process: object) -> None:
+        self.processes.append(process)
+
+    def detach(self, process: object) -> None:
+        try:
+            self.processes.remove(process)
+        except ValueError:
+            raise ConfigurationError(f"process not on node {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} load={self.load}>"

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic DES substrate: an event heap with a simulated clock
+(:mod:`repro.sim.kernel`), generator-based cooperative processes
+(:mod:`repro.sim.process`), and seeded randomness helpers
+(:mod:`repro.sim.rng`).  Everything else in the package (network, nodes,
+migration engines) is built on top of it.
+"""
+
+from .events import Event, EventQueue
+from .kernel import Simulator
+from .process import Completion, SimProcess, Timeout
+from .rng import child_rng, make_rng
+
+__all__ = [
+    "Completion",
+    "Event",
+    "EventQueue",
+    "SimProcess",
+    "Simulator",
+    "Timeout",
+    "child_rng",
+    "make_rng",
+]

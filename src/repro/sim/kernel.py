@@ -1,0 +1,140 @@
+"""The discrete-event simulator: clock, scheduling, and the run loop."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from ..errors import SimulationError
+from .events import Event, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .process import SimProcess
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator advances a floating-point clock (seconds) through an event
+    heap.  Work is expressed either as plain callbacks (:meth:`schedule`,
+    :meth:`schedule_at`) or as generator-based cooperative processes
+    (:meth:`spawn`, see :mod:`repro.sim.process`).
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [2.5]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._processes: list["SimProcess"] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule into the past (time={time}, now={self._now})")
+        return self._queue.push(time, callback)
+
+    def spawn(
+        self,
+        generator: Generator,
+        name: str = "process",
+    ) -> "SimProcess":
+        """Start a cooperative process from a generator.
+
+        The generator may ``yield`` :class:`repro.sim.process.Timeout` or
+        :class:`repro.sim.process.Completion` instances; the kernel resumes
+        it when the awaited condition is satisfied.
+        """
+        from .process import SimProcess
+
+        proc = SimProcess(self, generator, name=name)
+        self._processes.append(proc)
+        proc._start()
+        return proc
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the earliest event.  Returns ``False`` if none remained."""
+        time = self._queue.peek_time()
+        if time is None:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event heap yielded an event from the past")
+        self._now = event.time
+        event.callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is an absolute simulated time; the clock is advanced to it
+        even if the last event fires earlier, mirroring SimPy semantics.
+        ``max_events`` is a safety valve for tests.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_complete(self, proc: "SimProcess", max_events: int | None = None) -> object:
+        """Run events until ``proc`` finishes; return its result value.
+
+        Raises :class:`SimulationError` if the heap drains with the process
+        still alive (a deadlock in the modelled system).
+        """
+        fired = 0
+        while not proc.finished:
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+            if not self.step():
+                raise SimulationError(
+                    f"event queue drained but process {proc.name!r} never finished (deadlock)"
+                )
+            fired += 1
+        if proc.error is not None:
+            raise proc.error
+        return proc.result

@@ -1,0 +1,62 @@
+"""Unit constants and conversion helpers used throughout the simulator.
+
+All simulated time is in **seconds** (float), all sizes in **bytes** (int),
+all rates in **bytes/second** (float).  These helpers exist so that the
+experiment code can be written in the same units the paper uses (MB program
+sizes, Mb/s link rates, ms latencies) without sprinkling magic factors.
+"""
+
+from __future__ import annotations
+
+#: Binary size units (bytes).
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Default page size, matching Linux/x86 (bytes).
+PAGE_SIZE: int = 4 * KIB
+
+#: openMosix master-page-table entry size (paper section 5.2: "the size of
+#: an MPT is 6 bytes per page").
+MPT_ENTRY_BYTES: int = 6
+
+#: Time units (seconds).
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+
+
+def mib(n: float) -> int:
+    """Mebibytes to bytes (rounded to an integer byte count)."""
+    return int(n * MIB)
+
+
+def kib(n: float) -> int:
+    """Kibibytes to bytes."""
+    return int(n * KIB)
+
+
+def mbit_per_s(n: float) -> float:
+    """Megabits/second (network vendor units, 1e6 bits) to bytes/second."""
+    return n * 1e6 / 8.0
+
+
+def ms(n: float) -> float:
+    """Milliseconds to seconds."""
+    return n * MILLISECOND
+
+
+def us(n: float) -> float:
+    """Microseconds to seconds."""
+    return n * MICROSECOND
+
+
+def bytes_to_mib(n: float) -> float:
+    """Bytes to mebibytes (for reporting)."""
+    return n / MIB
+
+
+def pages_for(size_bytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages needed to hold ``size_bytes`` (ceiling division)."""
+    if size_bytes < 0:
+        raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+    return -(-size_bytes // page_size)

@@ -1,0 +1,54 @@
+"""Workload models: page-reference traces of the HPCC kernels.
+
+The paper evaluates with four HPC Challenge kernels chosen to span the
+spatial/temporal locality plane (figure 4):
+
+==============  ================  =================
+kernel          spatial locality  temporal locality
+==============  ================  =================
+STREAM          high              low
+DGEMM           high              high
+RandomAccess    low               low
+FFT             low               high
+==============  ================  =================
+
+Each workload deterministically generates a *page-reference trace*: the
+sequence of virtual pages the kernel touches, with the CPU work attached to
+each page visit.  That is exactly the abstraction AMPoM observes (it acts
+on the page-fault address stream), so the traces reproduce the locality
+class and relative paging rate of each kernel without re-implementing the
+numerics.  Per-kernel ``page_visit_cost`` defaults are calibrated against
+the paper's openMosix execution times (see
+:mod:`repro.experiments.calibration`).
+"""
+
+from .base import Syscall, TraceChunk, Workload
+from .dgemm import DgemmWorkload
+from .fft import FftWorkload
+from .hpcc import HPCC_SIZES, HpccConfiguration, hpcc_workload
+from .multiprocess import MultiProcessWorkload
+from .randomaccess import RandomAccessWorkload
+from .replay import ReplayWorkload
+from .stream import StreamWorkload
+from .synthetic import AllocatingWorkload, SequentialWorkload, StridedWorkload, UniformRandomWorkload
+from .workingset import WorkingSetDgemmWorkload
+
+__all__ = [
+    "AllocatingWorkload",
+    "DgemmWorkload",
+    "FftWorkload",
+    "HPCC_SIZES",
+    "MultiProcessWorkload",
+    "HpccConfiguration",
+    "RandomAccessWorkload",
+    "ReplayWorkload",
+    "SequentialWorkload",
+    "StreamWorkload",
+    "StridedWorkload",
+    "Syscall",
+    "TraceChunk",
+    "UniformRandomWorkload",
+    "WorkingSetDgemmWorkload",
+    "Workload",
+    "hpcc_workload",
+]

@@ -1,0 +1,163 @@
+"""Workload abstraction: deterministic page-reference trace generators.
+
+A workload:
+
+1. is constructed from a target **memory size** (the paper parameterizes
+   every experiment by program size in MB, table 1);
+2. ``setup()`` allocates its regions in a fresh
+   :class:`repro.mem.address_space.AddressSpace` (the allocation phase of
+   an HPCC kernel — after it, every data page is dirty and migration is
+   initiated, section 5.1);
+3. ``trace()`` yields :class:`TraceChunk` batches (and optional
+   :class:`Syscall` markers) describing the post-migration execution.
+
+Traces are chunked NumPy arrays rather than Python-level events so the
+executor's fast path can consume resident runs at array speed (see the
+hpc-parallel guide: vectorize the inner loop, profile the rest).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..units import PAGE_SIZE
+
+
+@dataclass(slots=True)
+class TraceChunk:
+    """A batch of page references with per-reference CPU work (seconds)."""
+
+    pages: np.ndarray
+    compute: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.pages = np.ascontiguousarray(self.pages, dtype=np.int64)
+        self.compute = np.ascontiguousarray(self.compute, dtype=np.float64)
+        if self.pages.shape != self.compute.shape or self.pages.ndim != 1:
+            raise ConfigurationError(
+                f"pages/compute must be 1-D arrays of equal length, got "
+                f"{self.pages.shape} and {self.compute.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.pages.size)
+
+    @property
+    def total_compute(self) -> float:
+        return float(self.compute.sum())
+
+
+@dataclass(frozen=True, slots=True)
+class Syscall:
+    """A system call in the reference stream.
+
+    For a migrant, system calls are forwarded to the home node and executed
+    by the deputy (openMosix's home dependency, paper section 7).
+    ``service_time`` is the CPU time the call costs wherever it executes;
+    ``reply_bytes`` sizes the reply message.
+    """
+
+    service_time: float
+    reply_bytes: int = 64
+
+
+TraceEvent = Union[TraceChunk, Syscall]
+
+
+class Workload(abc.ABC):
+    """Base class for page-reference trace generators."""
+
+    #: Human-readable kernel name (table/figure labels).
+    name: str = "workload"
+    #: Whether the trace may touch pages that do not exist yet (they are
+    #: created on first touch, updating only the MPT — section 2.2).
+    creates_pages: bool = False
+
+    def __init__(self, memory_bytes: int, page_size: int = PAGE_SIZE) -> None:
+        if memory_bytes <= 0:
+            raise ConfigurationError(f"memory_bytes must be positive: {memory_bytes}")
+        self.memory_bytes = memory_bytes
+        self.page_size = page_size
+        self.address_space: AddressSpace | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self) -> AddressSpace:
+        """Allocate the workload's regions; returns the address space."""
+        space = AddressSpace(page_size=self.page_size)
+        self._allocate(space)
+        self.address_space = space
+        return space
+
+    def _require_setup(self) -> AddressSpace:
+        if self.address_space is None:
+            raise ConfigurationError(f"{self.name}: call setup() before trace()")
+        return self.address_space
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _allocate(self, space: AddressSpace) -> None:
+        """Allocate data regions into ``space``."""
+
+    @abc.abstractmethod
+    def trace(self) -> Iterator[TraceEvent]:
+        """Yield the post-migration reference stream."""
+
+    # ------------------------------------------------------------------
+    def total_compute_estimate(self) -> float:
+        """Pure-CPU execution time of the trace (no paging).
+
+        Default implementation materializes the trace; subclasses with a
+        closed form may override.
+        """
+        self._require_setup()
+        total = 0.0
+        for event in self.trace():
+            if isinstance(event, TraceChunk):
+                total += event.total_compute
+            else:
+                total += event.service_time
+        return total
+
+    def premigration_pages(self) -> set[int] | None:
+        """Pages that exist at migration time; ``None`` means all of them.
+
+        Workloads with ``creates_pages = True`` override this to exclude
+        regions allocated after migration.
+        """
+        return None
+
+    def data_pages(self) -> int:
+        """Pages in the workload's data regions."""
+        space = self._require_setup()
+        return sum(
+            r.n_pages for r in space.regions if r.name not in ("code", "stack")
+        )
+
+
+def constant_chunk(pages: np.ndarray, cost: float) -> TraceChunk:
+    """A chunk where every reference costs the same CPU time."""
+    return TraceChunk(pages=pages, compute=np.full(pages.shape, cost, dtype=np.float64))
+
+
+def interleave(streams: list[np.ndarray]) -> np.ndarray:
+    """Round-robin interleave equal-length page streams.
+
+    ``interleave([[a0,a1],[b0,b1]]) -> [a0,b0,a1,b1]`` — the access shape
+    of STREAM-style kernels that walk several arrays in lockstep.
+    """
+    if not streams:
+        raise ConfigurationError("interleave needs at least one stream")
+    length = len(streams[0])
+    for s in streams:
+        if len(s) != length:
+            raise ConfigurationError("interleave needs equal-length streams")
+    out = np.empty(length * len(streams), dtype=np.int64)
+    for i, s in enumerate(streams):
+        out[i :: len(streams)] = s
+    return out

@@ -1,0 +1,98 @@
+"""DGEMM: high spatial *and* high temporal locality (figure 4).
+
+A blocked ``C = A @ B`` over three square matrices of ``memory_bytes / 3``
+each.  In row-major storage a panel of ``b`` complete rows is contiguous,
+so the page-level trace of a panel-blocked DGEMM is a nest of sequential
+sweeps: for every row panel ``i``, the A and C panels are touched once and
+the whole of B is re-swept — high temporal locality on B, sequential
+(prefetchable) page order everywhere.
+
+Because DGEMM performs ``2 b`` floating-point operations per element per
+panel visit, its cost per page visit is large and its paging rate low;
+AMPoM correspondingly prefetches fewer pages per fault than for STREAM yet
+still hides nearly all fault latency (sections 5.3-5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..units import PAGE_SIZE, pages_for, us
+from .base import TraceEvent, Workload, constant_chunk
+
+
+class DgemmWorkload(Workload):
+    """Panel-blocked matrix multiply."""
+
+    name = "DGEMM"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        block_rows: int = 128,
+        page_visit_cost: float = us(43.0),
+        chunk_pages: int = 8192,
+        panels: int | None = None,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        if block_rows < 1:
+            raise ConfigurationError(f"block_rows must be >= 1: {block_rows}")
+        self.block_rows = block_rows
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+        per_matrix = memory_bytes // 3
+        #: Matrix dimension n for an n x n double matrix of per_matrix bytes.
+        self.n = max(int(math.sqrt(per_matrix / 8.0)), 1)
+        self.pages_per_matrix = max(pages_for(per_matrix, page_size), 1)
+        #: Number of row panels (and of panel sweeps over B).  Passing
+        #: ``panels`` explicitly pins the arithmetic intensity (flops per
+        #: page visit) — used when running size-scaled sweeps so the
+        #: compute/transfer ratio matches the full-size kernel.
+        if panels is not None:
+            if panels < 1:
+                raise ConfigurationError(f"panels must be >= 1: {panels}")
+            self.panels = panels
+        else:
+            self.panels = max(1, -(-self.n // block_rows))
+        #: Pages per row panel (contiguous in row-major order).
+        self.panel_pages = max(1, -(-self.pages_per_matrix // self.panels))
+
+    def _allocate(self, space: AddressSpace) -> None:
+        for matrix in ("A", "B", "C"):
+            space.allocate_region(matrix, self.pages_per_matrix)
+
+    # ------------------------------------------------------------------
+    def _panel(self, start_page: int, panel: int) -> np.ndarray:
+        lo = min(panel * self.panel_pages, self.pages_per_matrix)
+        hi = min(lo + self.panel_pages, self.pages_per_matrix)
+        return np.arange(start_page + lo, start_page + hi, dtype=np.int64)
+
+    def _chunked(self, pages: np.ndarray) -> Iterator[np.ndarray]:
+        for lo in range(0, len(pages), self.chunk_pages):
+            yield pages[lo : lo + self.chunk_pages]
+
+    def trace(self) -> Iterator[TraceEvent]:
+        space = self._require_setup()
+        a0 = space.region("A").start_page
+        b0 = space.region("B").start_page
+        c0 = space.region("C").start_page
+        cost = self.page_visit_cost
+        for i in range(self.panels):
+            for chunk in self._chunked(self._panel(a0, i)):
+                yield constant_chunk(chunk, cost)
+            for chunk in self._chunked(self._panel(c0, i)):
+                yield constant_chunk(chunk, cost)
+            for k in range(self.panels):
+                for chunk in self._chunked(self._panel(b0, k)):
+                    yield constant_chunk(chunk, cost)
+
+    def total_compute_estimate(self) -> float:
+        # A and C panels once each; B reswept once per row panel.
+        visits = (2 + self.panels) * self.pages_per_matrix
+        return visits * self.page_visit_cost

@@ -1,0 +1,142 @@
+"""FFT: low spatial, high temporal locality (figure 4).
+
+A large out-of-place radix-``r`` 1-D FFT over ``memory_bytes`` of complex
+data (half input, half workspace):
+
+* a **bit-reversal** reordering pass first — sequential reads of the
+  source interleaved with writes to a permuted destination.  Real large-FFT
+  implementations (e.g. HPCC's FFTE) perform the reordering in cache-sized
+  blocks, so at page level the destination stream is short sequential runs
+  of ``reorder_block_pages`` pages at permuted positions — detectable by a
+  stride prefetcher after a couple of touches, which is what lets AMPoM
+  prevent 97% of FFT's fault requests (section 5.4) despite the scatter;
+* ``log_r`` **butterfly passes**, each re-sweeping both arrays.  For spans
+  larger than a page, a radix-``r`` pass reads ``r`` positions spaced
+  ``span/r`` apart, so the page trace interleaves ``r`` sequential page
+  streams.  With the default radix 4 the same-stream re-reference distance
+  equals AMPoM's ``dmax`` — strides are *detectable but weak*, giving the
+  low-but-not-zero spatial locality score the paper's figure 4 places FFT
+  at, while the repeated passes give it high temporal locality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..sim.rng import child_rng
+from ..units import PAGE_SIZE, pages_for, us
+from .base import TraceEvent, Workload, constant_chunk, interleave
+
+
+class FftWorkload(Workload):
+    """Out-of-place radix-``r`` FFT trace generator."""
+
+    name = "FFT"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        radix: int = 4,
+        page_visit_cost: float = us(36.0),
+        chunk_pages: int = 8192,
+        seed: int = 0,
+        passes: int | None = None,
+        reorder_block_pages: int = 16,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        if radix < 2:
+            raise ConfigurationError(f"radix must be >= 2: {radix}")
+        if reorder_block_pages < 1:
+            raise ConfigurationError(
+                f"reorder_block_pages must be >= 1: {reorder_block_pages}"
+            )
+        self.radix = radix
+        self.reorder_block_pages = reorder_block_pages
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+        self.seed = seed
+        self.pages_per_array = max(pages_for(memory_bytes // 2, page_size), 1)
+        #: Complex-16 elements in the transform.
+        self.n_elements = max((memory_bytes // 2) // 16, 2)
+        #: Butterfly passes modelled at page level (passes whose spans fit
+        #: within a single page coalesce into sequential sweeps; we model
+        #: them all as r-stream passes over the page range, which is the
+        #: page-visit count of a blocked implementation).  Passing
+        #: ``passes`` pins the arithmetic intensity for size-scaled sweeps.
+        if passes is not None:
+            if passes < 1:
+                raise ConfigurationError(f"passes must be >= 1: {passes}")
+            self.passes = passes
+        else:
+            self.passes = max(int(math.ceil(math.log(self.n_elements, radix))), 1)
+        self.page_passes = self.passes
+
+    def _allocate(self, space: AddressSpace) -> None:
+        space.allocate_region("data", self.pages_per_array)
+        space.allocate_region("work", self.pages_per_array)
+
+    # ------------------------------------------------------------------
+    def _stream_pass(self, start: int) -> Iterator[np.ndarray]:
+        """One radix-``r`` butterfly pass: r interleaved page streams."""
+        n = self.pages_per_array
+        r = self.radix
+        seg = n // r
+        if seg == 0:
+            # Array smaller than the radix: plain sequential sweep.
+            yield np.arange(start, start + n, dtype=np.int64)
+            return
+        per_chunk = max(self.chunk_pages // r, 1)
+        for lo in range(0, seg, per_chunk):
+            hi = min(lo + per_chunk, seg)
+            idx = np.arange(lo, hi, dtype=np.int64)
+            streams = [start + s * seg + idx for s in range(r)]
+            yield interleave(streams)
+        # Tail pages not covered by the r equal segments.
+        tail = start + seg * r
+        if tail < start + n:
+            yield np.arange(tail, start + n, dtype=np.int64)
+
+    def trace(self) -> Iterator[TraceEvent]:
+        space = self._require_setup()
+        data = space.region("data").start_page
+        work = space.region("work").start_page
+        n = self.pages_per_array
+        cost = self.page_visit_cost
+        rng = child_rng(self.seed, f"fft-bitrev-{self.memory_bytes}")
+        # Bit-reversal pass: sequential source, block-permuted destination
+        # (sequential runs of reorder_block_pages at permuted positions).
+        block = min(self.reorder_block_pages, n)
+        n_blocks = -(-n // block)
+        perm = rng.permutation(n_blocks).astype(np.int64)
+        dst_order = np.concatenate(
+            [np.arange(b * block, min((b + 1) * block, n), dtype=np.int64) for b in perm]
+        )
+        step = max(self.chunk_pages // 2, 1)
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            src = np.arange(data + lo, data + hi, dtype=np.int64)
+            dst = work + dst_order[lo:hi]
+            yield constant_chunk(interleave([src, dst]), cost)
+        # Butterfly passes ping-pong between the two arrays.
+        buffers = (work, data)
+        for p in range(self.page_passes):
+            src = buffers[p % 2]
+            dst = buffers[(p + 1) % 2]
+            for pages in self._stream_pass(src):
+                yield constant_chunk(pages, cost)
+            for lo in range(0, n, self.chunk_pages):
+                hi = min(lo + self.chunk_pages, n)
+                yield constant_chunk(
+                    np.arange(dst + lo, dst + hi, dtype=np.int64), cost
+                )
+
+    def total_compute_estimate(self) -> float:
+        n = self.pages_per_array
+        visits = 2 * n + self.page_passes * 2 * n
+        return visits * self.page_visit_cost

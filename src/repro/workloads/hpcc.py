@@ -1,0 +1,105 @@
+"""Table 1: HPCC problem and memory sizes, and the workload factory.
+
+The paper's configurations (section 5.1, table 1) cover program sizes
+roughly evenly between 100 MB and 600 MB:
+
+* DGEMM / STREAM:          115, 230, 345, 460, 575 MB
+* RandomAccess / FFT:      65, 129, 260, 513 MB
+
+``hpcc_workload`` builds the corresponding trace generator; ``scale``
+shrinks the memory footprint proportionally (the benchmark harness uses a
+fractional scale so a full figure sweep completes in seconds — the schemes'
+relative behaviour is scale-invariant, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import PAGE_SIZE, mib
+from .base import Workload
+from .dgemm import DgemmWorkload
+from .fft import FftWorkload
+from .randomaccess import RandomAccessWorkload
+from .stream import StreamWorkload
+
+
+@dataclass(frozen=True, slots=True)
+class HpccConfiguration:
+    """One row of table 1."""
+
+    kernel: str
+    problem_size: int
+    memory_mb: int
+
+
+#: Table 1 of the paper, verbatim.
+HPCC_SIZES: tuple[HpccConfiguration, ...] = (
+    HpccConfiguration("DGEMM", 7600, 115),
+    HpccConfiguration("DGEMM", 10850, 230),
+    HpccConfiguration("DGEMM", 13350, 345),
+    HpccConfiguration("DGEMM", 15450, 460),
+    HpccConfiguration("DGEMM", 17350, 575),
+    HpccConfiguration("STREAM", 7750, 115),
+    HpccConfiguration("STREAM", 11000, 230),
+    HpccConfiguration("STREAM", 13450, 345),
+    HpccConfiguration("STREAM", 15520, 460),
+    HpccConfiguration("STREAM", 17400, 575),
+    HpccConfiguration("RandomAccess", 8000, 65),
+    HpccConfiguration("RandomAccess", 11000, 129),
+    HpccConfiguration("RandomAccess", 16000, 260),
+    HpccConfiguration("RandomAccess", 23000, 513),
+    HpccConfiguration("FFT", 8000, 65),
+    HpccConfiguration("FFT", 11000, 129),
+    HpccConfiguration("FFT", 16000, 260),
+    HpccConfiguration("FFT", 23000, 513),
+)
+
+_KERNELS = {
+    "DGEMM": DgemmWorkload,
+    "STREAM": StreamWorkload,
+    "RandomAccess": RandomAccessWorkload,
+    "FFT": FftWorkload,
+}
+
+
+def kernel_sizes_mb(kernel: str) -> tuple[int, ...]:
+    """The table-1 memory sizes (MB) for one kernel."""
+    sizes = tuple(c.memory_mb for c in HPCC_SIZES if c.kernel == kernel)
+    if not sizes:
+        raise ConfigurationError(f"unknown HPCC kernel {kernel!r}")
+    return sizes
+
+
+def hpcc_workload(
+    kernel: str,
+    memory_mb: float,
+    scale: float = 1.0,
+    page_size: int = PAGE_SIZE,
+    **kwargs: object,
+) -> Workload:
+    """Build the trace generator for one table-1 configuration.
+
+    ``scale`` multiplies the memory footprint (use < 1 for quick runs).
+    When scaling down, DGEMM's panel count and FFT's pass count are pinned
+    to their *full-size* values so the kernels' arithmetic intensity —
+    and therefore every scheme ratio the figures compare — is
+    scale-invariant.  Extra keyword arguments go to the workload
+    constructor.
+    """
+    if kernel not in _KERNELS:
+        raise ConfigurationError(
+            f"unknown HPCC kernel {kernel!r}; expected one of {sorted(_KERNELS)}"
+        )
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive: {scale}")
+    memory_bytes = mib(memory_mb * scale)
+    if scale != 1.0:
+        if kernel == "DGEMM" and "panels" not in kwargs:
+            full = DgemmWorkload(mib(memory_mb), page_size=page_size)
+            kwargs["panels"] = full.panels
+        elif kernel == "FFT" and "passes" not in kwargs:
+            full = FftWorkload(mib(memory_mb), page_size=page_size)
+            kwargs["passes"] = full.passes
+    return _KERNELS[kernel](memory_bytes, page_size=page_size, **kwargs)

@@ -1,0 +1,125 @@
+"""A virtual machine as a workload: interleaved multi-process streams.
+
+Paper section 7: "a tailored AMPoM for migrating virtual machines whose
+memory references are consisted of access streams from multiple
+processes".  A :class:`MultiProcessWorkload` hosts several inner workloads
+in one address space (one region block per process) and interleaves their
+reference streams in short scheduler slices, the way a VM's guest kernel
+time-slices its processes.  The fine interleaving is exactly what defeats
+a single lookback window — the motivation for
+:class:`repro.core.vm_prefetcher.VmAmpomPrefetcher`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..units import PAGE_SIZE
+from .base import Syscall, TraceChunk, TraceEvent, Workload
+
+
+class MultiProcessWorkload(Workload):
+    """Round-robin interleave of several inner workloads' traces."""
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        processes: Sequence[Workload],
+        slice_refs: int = 16,
+        page_size: int = PAGE_SIZE,
+    ) -> None:
+        if not processes:
+            raise ConfigurationError("a VM needs at least one process")
+        if slice_refs < 1:
+            raise ConfigurationError(f"slice_refs must be >= 1: {slice_refs}")
+        for w in processes:
+            if w.page_size != page_size:
+                raise ConfigurationError(
+                    f"inner workload {w.name!r} uses page size {w.page_size}, "
+                    f"the VM uses {page_size}"
+                )
+        super().__init__(sum(w.memory_bytes for w in processes), page_size)
+        self.processes = list(processes)
+        self.slice_refs = slice_refs
+        self.creates_pages = any(w.creates_pages for w in processes)
+        self._offsets: list[int] = []
+
+    # ------------------------------------------------------------------
+    def _allocate(self, space: AddressSpace) -> None:
+        self._offsets = []
+        for i, inner in enumerate(self.processes):
+            inner_space = inner.setup()
+            region = space.allocate_region(f"proc{i}", inner_space.total_pages)
+            self._offsets.append(region.start_page)
+
+    def process_boundaries(self) -> list[tuple[int, int]]:
+        """``(start_vpn, end_vpn)`` of each guest process's block."""
+        space = self._require_setup()
+        out = []
+        for i, start in enumerate(self._offsets):
+            out.append((start, start + space.region(f"proc{i}").n_pages))
+        return out
+
+    def process_of(self, vpn: int) -> int:
+        """Index of the guest process owning ``vpn`` (data regions)."""
+        self._require_setup()
+        idx = bisect_right(self._offsets, vpn) - 1
+        return max(idx, 0)
+
+    def premigration_pages(self) -> set[int] | None:
+        space = self._require_setup()
+        inner_sets = [w.premigration_pages() for w in self.processes]
+        if all(s is None for s in inner_sets):
+            return None
+        pages: set[int] = set(
+            range(0, space.region("proc0").start_page)  # VM code + stack
+        )
+        for inner, offset, inner_pages in zip(
+            self.processes, self._offsets, inner_sets
+        ):
+            if inner_pages is None:
+                inner_pages = set(range(inner.address_space.total_pages))
+            pages.update(offset + vpn for vpn in inner_pages)
+        return pages
+
+    # ------------------------------------------------------------------
+    def _slices(self, inner: Workload, offset: int) -> Iterator[TraceEvent]:
+        """Yield an inner trace re-based into the VM's address space,
+        split into scheduler slices of at most ``slice_refs`` references."""
+        for event in inner.trace():
+            if isinstance(event, Syscall):
+                yield event
+                continue
+            pages = event.pages + offset
+            compute = event.compute
+            for lo in range(0, len(pages), self.slice_refs):
+                yield TraceChunk(
+                    pages=pages[lo : lo + self.slice_refs],
+                    compute=compute[lo : lo + self.slice_refs],
+                )
+
+    def trace(self) -> Iterator[TraceEvent]:
+        self._require_setup()
+        streams = [
+            self._slices(inner, offset)
+            for inner, offset in zip(self.processes, self._offsets)
+        ]
+        live = list(range(len(streams)))
+        while live:
+            finished = []
+            for i in live:
+                try:
+                    yield next(streams[i])
+                except StopIteration:
+                    finished.append(i)
+            for i in finished:
+                live.remove(i)
+
+    def total_compute_estimate(self) -> float:
+        return sum(w.total_compute_estimate() for w in self.processes)

@@ -1,0 +1,68 @@
+"""Replay workload: execute a user-supplied page-reference trace.
+
+Lets downstream users feed *recorded* traces (e.g. from `perf mem`,
+Valgrind's lackey, or another simulator) through the migration machinery
+instead of the built-in synthetic kernels.  References are given as page
+numbers relative to a single data region, with either a scalar or a
+per-reference compute cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..units import PAGE_SIZE, us
+from .base import TraceChunk, TraceEvent, Workload
+
+
+class ReplayWorkload(Workload):
+    """Replays an explicit page-reference trace."""
+
+    name = "replay"
+
+    def __init__(
+        self,
+        pages: "np.ndarray | list[int]",
+        compute: "np.ndarray | list[float] | float" = us(20.0),
+        n_pages: int | None = None,
+        page_size: int = PAGE_SIZE,
+        chunk_refs: int = 8192,
+    ) -> None:
+        self._pages = np.ascontiguousarray(pages, dtype=np.int64)
+        if self._pages.ndim != 1 or self._pages.size == 0:
+            raise ConfigurationError("trace must be a non-empty 1-D page sequence")
+        if self._pages.min() < 0:
+            raise ConfigurationError("page numbers must be non-negative")
+        if np.isscalar(compute) or isinstance(compute, float):
+            self._compute = np.full(self._pages.shape, float(compute))
+        else:
+            self._compute = np.ascontiguousarray(compute, dtype=np.float64)
+            if self._compute.shape != self._pages.shape:
+                raise ConfigurationError("compute must match the trace length")
+        if (self._compute < 0).any():
+            raise ConfigurationError("compute costs must be non-negative")
+        self.n_pages = n_pages if n_pages is not None else int(self._pages.max()) + 1
+        if self.n_pages <= int(self._pages.max()):
+            raise ConfigurationError(
+                f"n_pages={self.n_pages} too small for max page {int(self._pages.max())}"
+            )
+        self.chunk_refs = chunk_refs
+        super().__init__(self.n_pages * page_size, page_size)
+
+    def _allocate(self, space: AddressSpace) -> None:
+        space.allocate_region("data", self.n_pages)
+
+    def trace(self) -> Iterator[TraceEvent]:
+        start = self._require_setup().region("data").start_page
+        for lo in range(0, len(self._pages), self.chunk_refs):
+            hi = lo + self.chunk_refs
+            yield TraceChunk(
+                pages=start + self._pages[lo:hi], compute=self._compute[lo:hi]
+            )
+
+    def total_compute_estimate(self) -> float:
+        return float(self._compute.sum())

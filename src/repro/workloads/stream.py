@@ -1,0 +1,76 @@
+"""STREAM: high spatial locality, low temporal locality (figure 4).
+
+The STREAM kernel walks three large arrays in lockstep through four vector
+operations per iteration (copy, scale, add, triad).  At page granularity
+the trace interleaves two or three sequential page streams — exactly the
+"multiple outstanding strided streams" case AMPoM's pivot analysis is built
+for.  Little arithmetic happens per element, so STREAM has the highest
+paging rate of the four kernels and draws the most aggressive prefetching
+(figure 8).
+
+``page_visit_cost`` is the memory-bound cost of streaming one page through
+one array operand on the Gideon-300 P4 (calibrated so openMosix total
+execution times land in figure 6(b)'s range).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..units import PAGE_SIZE, pages_for, us
+from .base import TraceChunk, TraceEvent, Workload, constant_chunk, interleave
+
+
+class StreamWorkload(Workload):
+    """HPCC STREAM over three arrays of ``memory_bytes / 3`` each."""
+
+    name = "STREAM"
+
+    #: (operation, operand array names) per STREAM iteration.
+    OPERATIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
+        ("copy", ("a", "c")),
+        ("scale", ("c", "b")),
+        ("add", ("a", "b", "c")),
+        ("triad", ("b", "c", "a")),
+    )
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        iterations: int = 10,
+        page_visit_cost: float = us(11.0),
+        chunk_pages: int = 8192,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1: {iterations}")
+        if chunk_pages < 1:
+            raise ConfigurationError(f"chunk_pages must be >= 1: {chunk_pages}")
+        self.iterations = iterations
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+        self.pages_per_array = max(pages_for(memory_bytes // 3, page_size), 1)
+
+    def _allocate(self, space: AddressSpace) -> None:
+        for array in ("a", "b", "c"):
+            space.allocate_region(array, self.pages_per_array)
+
+    def trace(self) -> Iterator[TraceEvent]:
+        space = self._require_setup()
+        starts = {name: space.region(name).start_page for name in ("a", "b", "c")}
+        n = self.pages_per_array
+        for _ in range(self.iterations):
+            for _op, operands in self.OPERATIONS:
+                for lo in range(0, n, self.chunk_pages):
+                    idx = np.arange(lo, min(lo + self.chunk_pages, n), dtype=np.int64)
+                    streams = [starts[name] + idx for name in operands]
+                    yield constant_chunk(interleave(streams), self.page_visit_cost)
+
+    def total_compute_estimate(self) -> float:
+        visits_per_iteration = sum(len(ops) for _, ops in self.OPERATIONS) * self.pages_per_array
+        return self.iterations * visits_per_iteration * self.page_visit_cost

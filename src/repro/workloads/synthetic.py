@@ -1,0 +1,183 @@
+"""Parametric synthetic workloads for unit tests and ablation studies.
+
+These traces exercise specific code paths in isolation: pure sequential
+sweeps (maximal spatial locality), uniform random access (none), ``k``
+interleaved streams (multi-pivot prefetching), and post-migration page
+creation (the MPT-only update rule of section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mem.address_space import AddressSpace
+from ..sim.rng import child_rng
+from ..units import PAGE_SIZE, pages_for, us
+from .base import Syscall, TraceEvent, Workload, constant_chunk, interleave
+
+
+class SequentialWorkload(Workload):
+    """``sweeps`` sequential passes over one region."""
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        sweeps: int = 1,
+        page_visit_cost: float = us(20.0),
+        chunk_pages: int = 4096,
+        syscall_every_sweep: Syscall | None = None,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        if sweeps < 1:
+            raise ConfigurationError(f"sweeps must be >= 1: {sweeps}")
+        self.sweeps = sweeps
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+        self.syscall_every_sweep = syscall_every_sweep
+        self.n_pages = max(pages_for(memory_bytes, page_size), 1)
+
+    def _allocate(self, space: AddressSpace) -> None:
+        space.allocate_region("data", self.n_pages)
+
+    def trace(self) -> Iterator[TraceEvent]:
+        start = self._require_setup().region("data").start_page
+        for _ in range(self.sweeps):
+            for lo in range(0, self.n_pages, self.chunk_pages):
+                hi = min(lo + self.chunk_pages, self.n_pages)
+                pages = np.arange(start + lo, start + hi, dtype=np.int64)
+                yield constant_chunk(pages, self.page_visit_cost)
+            if self.syscall_every_sweep is not None:
+                yield self.syscall_every_sweep
+
+
+class UniformRandomWorkload(Workload):
+    """``n_references`` uniformly random page touches over one region."""
+
+    name = "uniform-random"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        n_references: int | None = None,
+        page_visit_cost: float = us(50.0),
+        chunk_pages: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+        self.seed = seed
+        self.n_pages = max(pages_for(memory_bytes, page_size), 1)
+        self.n_references = n_references if n_references is not None else 2 * self.n_pages
+
+    def _allocate(self, space: AddressSpace) -> None:
+        space.allocate_region("data", self.n_pages)
+
+    def trace(self) -> Iterator[TraceEvent]:
+        start = self._require_setup().region("data").start_page
+        rng = child_rng(self.seed, "uniform-random")
+        remaining = self.n_references
+        while remaining > 0:
+            n = min(remaining, self.chunk_pages)
+            pages = start + rng.integers(0, self.n_pages, size=n, dtype=np.int64)
+            yield constant_chunk(pages, self.page_visit_cost)
+            remaining -= n
+
+
+class StridedWorkload(Workload):
+    """``streams`` interleaved sequential page streams over one region."""
+
+    name = "strided"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        streams: int = 3,
+        page_visit_cost: float = us(20.0),
+        chunk_pages: int = 4096,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        if streams < 1:
+            raise ConfigurationError(f"streams must be >= 1: {streams}")
+        self.streams = streams
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+        self.n_pages = max(pages_for(memory_bytes, page_size), streams)
+
+    def _allocate(self, space: AddressSpace) -> None:
+        space.allocate_region("data", self.n_pages)
+
+    def trace(self) -> Iterator[TraceEvent]:
+        start = self._require_setup().region("data").start_page
+        seg = self.n_pages // self.streams
+        per_chunk = max(self.chunk_pages // self.streams, 1)
+        for lo in range(0, seg, per_chunk):
+            hi = min(lo + per_chunk, seg)
+            idx = np.arange(lo, hi, dtype=np.int64)
+            parts = [start + s * seg + idx for s in range(self.streams)]
+            yield constant_chunk(interleave(parts), self.page_visit_cost)
+
+
+class AllocatingWorkload(Workload):
+    """Touches a region that is *created after migration*.
+
+    Models the paper's data-locality scenario (section 5.6: migrants "would
+    allocate new pages after migration rather than using the existing
+    ones"): references to the ``fresh`` region create pages on first touch,
+    updating only the MPT and never crossing the network.
+    """
+
+    name = "allocating"
+    creates_pages = True
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        page_size: int = PAGE_SIZE,
+        fresh_fraction: float = 0.5,
+        page_visit_cost: float = us(20.0),
+        chunk_pages: int = 4096,
+    ) -> None:
+        super().__init__(memory_bytes, page_size)
+        if not (0.0 < fresh_fraction < 1.0):
+            raise ConfigurationError(f"fresh_fraction must be in (0, 1): {fresh_fraction}")
+        total = max(pages_for(memory_bytes, page_size), 2)
+        self.fresh_pages = max(int(total * fresh_fraction), 1)
+        self.old_pages = max(total - self.fresh_pages, 1)
+        self.page_visit_cost = page_visit_cost
+        self.chunk_pages = chunk_pages
+
+    def _allocate(self, space: AddressSpace) -> None:
+        space.allocate_region("old", self.old_pages)
+        space.allocate_region("fresh", self.fresh_pages)
+
+    def premigration_pages(self) -> set[int]:
+        """Pages that exist at migration time (everything but ``fresh``)."""
+        space = self._require_setup()
+        fresh = space.region("fresh")
+        return {
+            vpn
+            for region in space.regions
+            if region.name != "fresh"
+            for vpn in range(region.start_page, region.end_page)
+        } - set(range(fresh.start_page, fresh.end_page))
+
+    def trace(self) -> Iterator[TraceEvent]:
+        space = self._require_setup()
+        old = space.region("old")
+        fresh = space.region("fresh")
+        for region in (old, fresh):
+            for lo in range(0, region.n_pages, self.chunk_pages):
+                hi = min(lo + self.chunk_pages, region.n_pages)
+                pages = np.arange(
+                    region.start_page + lo, region.start_page + hi, dtype=np.int64
+                )
+                yield constant_chunk(pages, self.page_visit_cost)

@@ -1,0 +1,48 @@
+"""Unit tests for cluster assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+
+
+def test_default_two_nodes(sim, sim_config):
+    cluster = Cluster(sim, sim_config)
+    assert set(cluster.nodes) == {"home", "dest"}
+    assert cluster.network.direction("home", "dest") is not None
+
+
+def test_full_mesh(sim, sim_config):
+    cluster = Cluster(sim, sim_config, node_names=["a", "b", "c"])
+    for src in "abc":
+        for dst in "abc":
+            if src != dst:
+                assert cluster.network.direction(src, dst) is not None
+
+
+def test_node_lookup(sim, sim_config):
+    cluster = Cluster(sim, sim_config)
+    assert cluster.node("home").name == "home"
+    with pytest.raises(ConfigurationError):
+        cluster.node("nowhere")
+
+
+def test_duplicate_names_rejected(sim, sim_config):
+    with pytest.raises(ConfigurationError):
+        Cluster(sim, sim_config, node_names=["a", "a"])
+
+
+def test_single_node_rejected(sim, sim_config):
+    with pytest.raises(ConfigurationError):
+        Cluster(sim, sim_config, node_names=["solo"])
+
+
+def test_shaper_access(sim, sim_config):
+    cluster = Cluster(sim, sim_config)
+    shaper = cluster.shaper("home", "dest")
+    shaper.apply(1e6, 0.002)
+    assert cluster.network.direction("home", "dest").bandwidth_bps == 1e6

@@ -1,0 +1,76 @@
+"""Tests for the lifetime-threshold scheduling policy.
+
+The paper's introduction: "The long migration latency can lead to rather
+conservative designs of upper-level scheduling policies.  For instance,
+[10] migrates a process only if its lifetime exceeds a certain threshold."
+With AMPoM's cheap migrations that conservatism is unnecessary — short
+tasks can move too.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.scheduler import ClusterScheduler, Task
+from repro.config import SimulationConfig
+from repro.sim import Simulator
+from repro.units import mib
+
+
+def mixed_tasks():
+    """Many short tasks and a few long ones, piled on one node."""
+    tasks = [
+        Task(name=f"short{i}", cpu_seconds=1.0, memory_bytes=mib(128), node="n1")
+        for i in range(8)
+    ]
+    tasks += [
+        Task(name=f"long{i}", cpu_seconds=6.0, memory_bytes=mib(128), node="n1")
+        for i in range(2)
+    ]
+    return tasks
+
+
+def run(freeze_model: str, min_task_lifetime: float):
+    sim = Simulator()
+    config = SimulationConfig()
+    cluster = Cluster(sim, config, node_names=["n1", "n2"])
+    sched = ClusterScheduler(
+        sim,
+        cluster,
+        mixed_tasks(),
+        config,
+        freeze_model=freeze_model,
+        min_task_lifetime=min_task_lifetime,
+        balance_interval=0.25,
+    )
+    report = sched.run()
+    return sched, report
+
+
+def test_threshold_excludes_short_tasks():
+    sched, _ = run("ampom", min_task_lifetime=3.0)
+    short_moved = [t for t in sched.tasks if t.name.startswith("short") and t.migrations]
+    assert not short_moved
+    long_moved = [t for t in sched.tasks if t.name.startswith("long") and t.migrations]
+    assert long_moved
+
+
+def test_no_threshold_moves_short_tasks_too():
+    sched, _ = run("ampom", min_task_lifetime=0.0)
+    short_moved = [t for t in sched.tasks if t.name.startswith("short") and t.migrations]
+    assert short_moved
+
+
+def test_ampom_unrestricted_beats_conservative():
+    """Eager migration of short tasks improves the makespan when moves are
+    cheap — the paper's motivating claim."""
+    _, eager = run("ampom", min_task_lifetime=0.0)
+    _, conservative = run("ampom", min_task_lifetime=3.0)
+    assert eager.makespan < conservative.makespan
+
+
+def test_openmosix_needs_the_threshold():
+    """With expensive (openMosix) migrations, moving the short tasks costs
+    more freeze time; the threshold exists for a reason."""
+    _, eager = run("openmosix", min_task_lifetime=0.0)
+    _, conservative = run("openmosix", min_task_lifetime=3.0)
+    assert eager.total_frozen_time > conservative.total_frozen_time

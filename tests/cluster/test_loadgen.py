@@ -1,0 +1,46 @@
+"""Unit tests for the background load generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.loadgen import BackgroundLoad, LoadWindow
+from repro.config import HardwareSpec
+from repro.errors import ConfigurationError
+from repro.node.node import Node
+
+
+def test_window_applies_and_releases(sim):
+    node = Node("n", HardwareSpec())
+    BackgroundLoad(sim, node, [LoadWindow(start=1.0, duration=2.0, n_procs=3)])
+    sim.run(until=0.5)
+    assert node.cpu.runnable == 0
+    sim.run(until=1.5)
+    assert node.cpu.runnable == 3
+    sim.run(until=3.5)
+    assert node.cpu.runnable == 0
+
+
+def test_overlapping_windows_stack(sim):
+    node = Node("n", HardwareSpec())
+    BackgroundLoad(
+        sim,
+        node,
+        [
+            LoadWindow(start=0.0, duration=4.0, n_procs=1),
+            LoadWindow(start=1.0, duration=1.0, n_procs=2),
+        ],
+    )
+    sim.run(until=1.5)
+    assert node.cpu.runnable == 3
+    sim.run(until=2.5)
+    assert node.cpu.runnable == 1
+
+
+def test_invalid_window():
+    with pytest.raises(ConfigurationError):
+        LoadWindow(start=-1.0, duration=1.0, n_procs=1)
+    with pytest.raises(ConfigurationError):
+        LoadWindow(start=0.0, duration=0.0, n_procs=1)
+    with pytest.raises(ConfigurationError):
+        LoadWindow(start=0.0, duration=1.0, n_procs=0)

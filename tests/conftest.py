@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AMPoMConfig, HardwareSpec, NetworkSpec, SimulationConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def hardware() -> HardwareSpec:
+    return HardwareSpec()
+
+
+@pytest.fixture
+def network_spec() -> NetworkSpec:
+    return NetworkSpec()
+
+
+@pytest.fixture
+def ampom_config() -> AMPoMConfig:
+    return AMPoMConfig()
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    return SimulationConfig()

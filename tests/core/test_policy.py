@@ -1,0 +1,75 @@
+"""Unit tests for the baseline prefetch policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import (
+    FixedReadAheadPolicy,
+    LinkConditions,
+    LinuxReadAheadPolicy,
+    NoPrefetchPolicy,
+    PrefetchPolicy,
+)
+from repro.mem.residency import ResidencyTracker
+
+COND = LinkConditions(rtt_s=0.001, available_bw_bps=1e7)
+
+
+def residency(remote=range(100), mapped=()):
+    return ResidencyTracker(remote_pages=remote, mapped_pages=mapped)
+
+
+def test_noprefetch_returns_nothing():
+    policy = NoPrefetchPolicy()
+    assert policy.on_fault(5, 0.0, 1.0, residency(), COND) == []
+    assert policy.analysis_time == 0.0
+    assert isinstance(policy, PrefetchPolicy)
+
+
+def test_fixed_readahead_next_k_remote_pages():
+    policy = FixedReadAheadPolicy(k=3, address_limit=100)
+    assert policy.on_fault(5, 0.0, 1.0, residency(), COND) == [6, 7, 8]
+
+
+def test_fixed_readahead_skips_non_remote():
+    res = residency(remote=set(range(100)) - {6}, mapped={6})
+    policy = FixedReadAheadPolicy(k=3, address_limit=100)
+    assert policy.on_fault(5, 0.0, 1.0, res, COND) == [7, 8]
+
+
+def test_fixed_readahead_respects_limit():
+    policy = FixedReadAheadPolicy(k=10, address_limit=8)
+    assert policy.on_fault(5, 0.0, 1.0, residency(remote=range(8)), COND) == [6, 7]
+
+
+def test_fixed_readahead_validation():
+    with pytest.raises(ValueError):
+        FixedReadAheadPolicy(k=0, address_limit=10)
+
+
+def test_fixed_readahead_is_policy():
+    assert isinstance(FixedReadAheadPolicy(k=1, address_limit=10), PrefetchPolicy)
+
+
+def test_linux_readahead_grows_on_sequential():
+    policy = LinuxReadAheadPolicy(address_limit=1000, min_pages=2, max_pages=8)
+    first = policy.on_fault(10, 0.0, 1.0, residency(remote=range(1000)), COND)
+    assert first == [11, 12]
+    second = policy.on_fault(11, 0.0, 1.0, residency(remote=range(1000)), COND)
+    assert second == [12, 13, 14, 15]
+
+
+def test_linux_readahead_resets_on_seek():
+    policy = LinuxReadAheadPolicy(address_limit=1000, min_pages=2, max_pages=8)
+    policy.on_fault(10, 0.0, 1.0, residency(remote=range(1000)), COND)
+    policy.on_fault(11, 0.0, 1.0, residency(remote=range(1000)), COND)
+    after_seek = policy.on_fault(500, 0.0, 1.0, residency(remote=range(1000)), COND)
+    assert after_seek == [501, 502]
+
+
+def test_link_conditions_fields():
+    cond = LinkConditions(rtt_s=0.002, available_bw_bps=5e6, cpu_share=0.5)
+    assert cond.rtt_s == 0.002
+    assert cond.available_bw_bps == 5e6
+    assert cond.cpu_share == 0.5

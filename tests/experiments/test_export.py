@@ -1,0 +1,54 @@
+"""Tests for the CSV figure export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.export import export_figures_csv
+
+SMALL = 1.0 / 32.0
+
+
+@pytest.fixture(scope="module")
+def csv_rows(tmp_path_factory):
+    matrix = figures.run_matrix(scale=SMALL)
+    path = tmp_path_factory.mktemp("export") / "figures.csv"
+    export_figures_csv(path, scale=SMALL, matrix=matrix)
+    with path.open() as fh:
+        return list(csv.DictReader(fh))
+
+
+def test_header_and_figures_present(csv_rows):
+    figures_present = {row["figure"] for row in csv_rows}
+    assert figures_present == {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+
+
+def test_fig5_full_scale_rows(csv_rows):
+    fig5 = [r for r in csv_rows if r["figure"] == "fig5"]
+    # 4 kernels x 3 schemes x (5 or 4) sizes = 54 rows.
+    assert len(fig5) == 54
+    dgemm_openmosix = {
+        int(r["x"]): float(r["y"])
+        for r in fig5
+        if r["kernel"] == "DGEMM" and r["scheme"] == "openMosix"
+    }
+    assert dgemm_openmosix[575] > 30  # full-scale freeze, seconds
+
+
+def test_fig10_rows(csv_rows):
+    fig10 = [r for r in csv_rows if r["figure"] == "fig10"]
+    assert {r["scheme"] for r in fig10} == {"openMosix", "AMPoM"}
+    assert len(fig10) == 10
+
+
+def test_values_are_numeric(csv_rows):
+    for row in csv_rows:
+        float(row["y"])
+
+
+def test_fig9_network_labels(csv_rows):
+    fig9 = [r for r in csv_rows if r["figure"] == "fig9"]
+    assert {r["x"] for r in fig9} == {"100Mb/s", "6Mb/s"}

@@ -1,0 +1,33 @@
+"""Unit tests for the Table-1 harness."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import expected_pages, paper_configurations, table1
+
+
+def test_table1_materializes_all_rows():
+    rows = table1(scale=0.02)
+    assert len(rows) == 18
+    assert {r.kernel for r in rows} == {"DGEMM", "STREAM", "RandomAccess", "FFT"}
+
+
+def test_mpt_is_six_bytes_per_page():
+    for row in table1(scale=0.02):
+        assert row.mpt_bytes == row.data_pages * 6
+
+
+def test_page_counts_scale_with_memory():
+    rows = {(r.kernel, r.memory_mb): r for r in table1(scale=0.05)}
+    assert (
+        rows[("DGEMM", 575)].data_pages > rows[("DGEMM", 115)].data_pages * 4
+    )
+
+
+def test_paper_configurations_verbatim():
+    cfgs = paper_configurations()
+    assert cfgs[0].kernel == "DGEMM" and cfgs[0].problem_size == 7600
+    assert cfgs[-1].memory_mb == 513
+
+
+def test_expected_pages_helper():
+    assert expected_pages(4, scale=1.0, page_size=4096) == 1024

@@ -1,0 +1,107 @@
+"""Unit tests for the paged address space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryStateError
+from repro.mem.address_space import AddressSpace, Region
+
+
+def test_default_layout_has_code_and_stack():
+    space = AddressSpace()
+    assert space.code.name == "code"
+    assert space.region("stack").n_pages == AddressSpace.STACK_PAGES
+    assert space.total_pages == AddressSpace.CODE_PAGES + AddressSpace.STACK_PAGES
+
+
+def test_code_is_clean_stack_is_dirty():
+    space = AddressSpace()
+    dirty = space.dirty_pages
+    for vpn in range(space.code.start_page, space.code.end_page):
+        assert vpn not in dirty
+    stack = space.region("stack")
+    for vpn in range(stack.start_page, stack.end_page):
+        assert vpn in dirty
+
+
+def test_allocate_region_is_contiguous_and_dirty():
+    space = AddressSpace()
+    before = space.total_pages
+    region = space.allocate_region("heap", 100)
+    assert region.start_page == before
+    assert region.n_pages == 100
+    assert space.total_pages == before + 100
+    assert all(vpn in space.dirty_pages for vpn in range(region.start_page, region.end_page))
+
+
+def test_duplicate_region_rejected():
+    space = AddressSpace()
+    space.allocate_region("heap", 1)
+    with pytest.raises(MemoryStateError):
+        space.allocate_region("heap", 1)
+
+
+def test_empty_region_rejected():
+    with pytest.raises(MemoryStateError):
+        AddressSpace().allocate_region("empty", 0)
+
+
+def test_unknown_region_raises():
+    with pytest.raises(MemoryStateError):
+        AddressSpace().region("nope")
+
+
+def test_dirty_tracking():
+    space = AddressSpace()
+    space.allocate_region("heap", 4)
+    vpn = space.region("heap").start_page
+    space.mark_clean(vpn)
+    assert vpn not in space.dirty_pages
+    space.mark_dirty(vpn)
+    assert vpn in space.dirty_pages
+
+
+def test_mark_dirty_out_of_range():
+    space = AddressSpace()
+    with pytest.raises(MemoryStateError):
+        space.mark_dirty(space.total_pages)
+
+
+def test_currently_accessed_pages_trio():
+    space = AddressSpace()
+    heap = space.allocate_region("heap", 10)
+    code, data, stack = space.currently_accessed_pages()
+    assert code == space.code.start_page
+    assert data == heap.start_page
+    assert stack == space.region("stack").end_page - 1
+
+
+def test_currently_accessed_requires_data_region():
+    with pytest.raises(MemoryStateError):
+        AddressSpace().currently_accessed_pages()
+
+
+def test_total_bytes():
+    space = AddressSpace(page_size=4096)
+    space.allocate_region("heap", 10)
+    assert space.total_bytes == space.total_pages * 4096
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", 10, 5)
+        assert 10 in region and 14 in region
+        assert 9 not in region and 15 not in region
+
+    def test_page_indexing(self):
+        region = Region("r", 10, 5)
+        assert region.page(0) == 10
+        assert region.page(4) == 14
+        with pytest.raises(MemoryStateError):
+            region.page(5)
+        with pytest.raises(MemoryStateError):
+            region.page(-1)
+
+    def test_end_page(self):
+        assert Region("r", 3, 4).end_page == 7

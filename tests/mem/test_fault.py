@@ -1,0 +1,19 @@
+"""Unit tests for the fault taxonomy."""
+
+from repro.mem.fault import FaultKind
+
+
+def test_blocking_kinds():
+    assert FaultKind.MAJOR.blocking
+    assert FaultKind.IN_FLIGHT_WAIT.blocking
+    assert not FaultKind.MINOR_BUFFERED.blocking
+    assert not FaultKind.MINOR_CREATE.blocking
+
+
+def test_all_kinds_enumerated():
+    assert {k.value for k in FaultKind} == {
+        "major",
+        "in_flight_wait",
+        "minor_buffered",
+        "minor_create",
+    }

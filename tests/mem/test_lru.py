@@ -1,0 +1,86 @@
+"""Unit tests for the LRU capacity model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryStateError
+from repro.mem.lru import LruPageCache
+
+
+def test_insert_until_capacity_no_eviction():
+    lru = LruPageCache(3)
+    assert lru.insert(1) is None
+    assert lru.insert(2) is None
+    assert lru.insert(3) is None
+    assert len(lru) == 3
+
+
+def test_eviction_is_least_recently_used():
+    lru = LruPageCache(2)
+    lru.insert(1)
+    lru.insert(2)
+    assert lru.insert(3) == 1
+
+
+def test_touch_refreshes_recency():
+    lru = LruPageCache(2)
+    lru.insert(1)
+    lru.insert(2)
+    lru.touch(1)
+    assert lru.insert(3) == 2
+
+
+def test_touch_missing_raises():
+    with pytest.raises(MemoryStateError):
+        LruPageCache(2).touch(1)
+
+
+def test_duplicate_insert_raises():
+    lru = LruPageCache(2)
+    lru.insert(1)
+    with pytest.raises(MemoryStateError):
+        lru.insert(1)
+
+
+def test_remove():
+    lru = LruPageCache(2)
+    lru.insert(1)
+    lru.remove(1)
+    assert 1 not in lru
+    with pytest.raises(MemoryStateError):
+        lru.remove(1)
+
+
+def test_capacity_validation():
+    with pytest.raises(MemoryStateError):
+        LruPageCache(0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200))
+def test_never_exceeds_capacity(pages):
+    lru = LruPageCache(5)
+    for vpn in pages:
+        if vpn in lru:
+            lru.touch(vpn)
+        else:
+            lru.insert(vpn)
+        assert len(lru) <= 5
+
+
+@given(st.integers(min_value=1, max_value=10), st.lists(st.integers(0, 30), min_size=1))
+def test_eviction_victim_is_not_recent(capacity, pages):
+    lru = LruPageCache(capacity)
+    recent: list[int] = []
+    for vpn in pages:
+        if vpn in lru:
+            lru.touch(vpn)
+        else:
+            victim = lru.insert(vpn)
+            if victim is not None:
+                # The victim must not be among the `capacity` - 1 most
+                # recently used distinct pages before this insert.
+                assert victim not in recent[-(capacity - 1) :] if capacity > 1 else True
+        recent = [p for p in recent if p != vpn] + [vpn]

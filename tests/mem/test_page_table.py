@@ -1,0 +1,103 @@
+"""Unit tests for the MPT/HPT update rules of paper section 2.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryStateError
+from repro.mem.page_table import (
+    HomePageTable,
+    MasterPageTable,
+    PageLocation,
+    transfer_page,
+)
+
+
+def make_pair(n_pages=10, local=(0, 1, 2)):
+    return MasterPageTable.from_migration(range(n_pages), local)
+
+
+def test_from_migration_splits_locations():
+    mpt, hpt = make_pair()
+    assert mpt.location(0) is PageLocation.LOCAL
+    assert mpt.location(5) is PageLocation.HOME
+    assert 5 in hpt and 0 not in hpt
+    assert len(mpt) == 10
+    assert len(hpt) == 7
+
+
+def test_from_migration_rejects_foreign_local_pages():
+    with pytest.raises(MemoryStateError):
+        MasterPageTable.from_migration(range(5), [99])
+
+
+def test_mpt_size_is_six_bytes_per_page():
+    mpt, _ = make_pair(n_pages=100)
+    assert mpt.size_bytes == 600
+
+
+def test_transfer_page_updates_both_tables():
+    mpt, hpt = make_pair()
+    transfer_page(mpt, hpt, 5)
+    assert mpt.location(5) is PageLocation.LOCAL
+    assert 5 not in hpt
+
+
+def test_transfer_page_twice_fails():
+    mpt, hpt = make_pair()
+    transfer_page(mpt, hpt, 5)
+    with pytest.raises(MemoryStateError):
+        transfer_page(mpt, hpt, 5)
+
+
+def test_mark_local_requires_entry():
+    mpt, _ = make_pair()
+    with pytest.raises(MemoryStateError):
+        mpt.location(999)
+
+
+def test_record_creation_updates_only_mpt():
+    mpt, hpt = make_pair()
+    before = len(hpt)
+    mpt.record_creation(50)
+    assert mpt.location(50) is PageLocation.LOCAL
+    assert len(hpt) == before
+
+
+def test_record_creation_duplicate_fails():
+    mpt, _ = make_pair()
+    with pytest.raises(MemoryStateError):
+        mpt.record_creation(0)
+
+
+def test_unmap_home_page_touches_hpt():
+    mpt, hpt = make_pair()
+    mpt.record_unmap(5, hpt)
+    assert 5 not in hpt
+    assert 5 not in mpt
+
+
+def test_unmap_local_page_leaves_hpt():
+    mpt, hpt = make_pair()
+    before = len(hpt)
+    mpt.record_unmap(0, hpt)
+    assert 0 not in mpt
+    assert len(hpt) == before
+
+
+def test_hpt_release_unknown_page_fails():
+    hpt = HomePageTable([1, 2])
+    with pytest.raises(MemoryStateError):
+        hpt.release(99)
+
+
+def test_pages_at():
+    mpt, _ = make_pair(n_pages=5, local=(0,))
+    assert mpt.pages_at(PageLocation.LOCAL) == frozenset({0})
+    assert mpt.pages_at(PageLocation.HOME) == frozenset({1, 2, 3, 4})
+
+
+def test_hpt_pages_snapshot():
+    hpt = HomePageTable([3, 1])
+    assert hpt.pages == frozenset({1, 3})
+    assert len(hpt) == 2

@@ -1,0 +1,52 @@
+"""Unit tests for the Linux-style read-ahead baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryStateError
+from repro.mem.readahead import LinuxReadAhead, sequential_successors
+
+
+class TestSequentialSuccessors:
+    def test_basic(self):
+        assert list(sequential_successors(10, 3, limit=100)) == [11, 12, 13]
+
+    def test_truncated_by_limit(self):
+        assert list(sequential_successors(10, 5, limit=12)) == [11]
+
+    def test_zero_count(self):
+        assert list(sequential_successors(10, 0, limit=100)) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MemoryStateError):
+            list(sequential_successors(10, -1, limit=100))
+
+
+class TestLinuxReadAhead:
+    def test_window_doubles_on_sequential(self):
+        ra = LinuxReadAhead(min_pages=4, max_pages=32)
+        assert ra.on_access(10) == 4
+        assert ra.on_access(11) == 8
+        assert ra.on_access(12) == 16
+        assert ra.on_access(13) == 32
+        assert ra.on_access(14) == 32  # capped
+
+    def test_seek_resets_window(self):
+        ra = LinuxReadAhead(min_pages=4, max_pages=32)
+        ra.on_access(10)
+        ra.on_access(11)
+        assert ra.window == 8
+        assert ra.on_access(99) == 4
+
+    def test_repeat_access_keeps_window(self):
+        ra = LinuxReadAhead(min_pages=4, max_pages=32)
+        ra.on_access(10)
+        ra.on_access(11)
+        assert ra.on_access(11) == 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MemoryStateError):
+            LinuxReadAhead(min_pages=0, max_pages=4)
+        with pytest.raises(MemoryStateError):
+            LinuxReadAhead(min_pages=8, max_pages=4)

@@ -1,0 +1,54 @@
+"""Unit tests for the telemetry counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.counters import Counters
+
+
+def test_defaults_are_zero():
+    c = Counters()
+    assert c.total_faults == 0
+    assert c.page_fault_requests == 0
+    assert c.prefetched_pages_per_fault == 0.0
+
+
+def test_total_faults_sums_all_kinds():
+    c = Counters(
+        major_faults=3, inflight_waits=2, minor_buffered_faults=4, create_faults=1
+    )
+    assert c.total_faults == 10
+
+
+def test_page_fault_requests_are_demand_requests():
+    c = Counters(demand_requests=7, prefetch_requests=100)
+    assert c.page_fault_requests == 7
+
+
+def test_prefetched_per_fault_uses_demand_requests():
+    c = Counters(demand_requests=4, pages_prefetched=100)
+    assert c.prefetched_pages_per_fault == pytest.approx(25.0)
+
+
+def test_pages_fetched_remotely():
+    c = Counters(pages_demand_fetched=5, pages_prefetched=10)
+    assert c.pages_fetched_remotely == 15
+
+
+def test_merge_adds_fields():
+    a = Counters(demand_requests=1, pages_prefetched=2)
+    b = Counters(demand_requests=10, minor_buffered_faults=3)
+    merged = a.merge(b)
+    assert merged.demand_requests == 11
+    assert merged.pages_prefetched == 2
+    assert merged.minor_buffered_faults == 3
+    # Inputs untouched.
+    assert a.demand_requests == 1 and b.demand_requests == 10
+
+
+def test_as_dict_round_trip():
+    c = Counters(demand_requests=2)
+    d = c.as_dict()
+    assert d["demand_requests"] == 2
+    assert set(d) >= {"pages_prefetched", "major_faults", "syscalls_forwarded"}

@@ -1,0 +1,42 @@
+"""Unit tests for the table formatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import format_table, percent_change
+
+
+def test_basic_table():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    assert "30" in lines[3]
+
+
+def test_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_float_rendering():
+    out = format_table(["x"], [[0.0], [1234567.0], [0.001234], [2.5]])
+    assert "0" in out
+    assert "1.23e+06" in out
+    assert "0.00123" in out
+    assert "2.5" in out
+
+
+def test_alignment_is_consistent():
+    out = format_table(["col"], [[1], [100]])
+    lines = out.splitlines()
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_percent_change():
+    assert percent_change(110.0, 100.0) == pytest.approx(10.0)
+    assert percent_change(90.0, 100.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_change(1.0, 0.0)

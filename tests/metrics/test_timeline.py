@@ -1,0 +1,44 @@
+"""Unit tests for the time-budget decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.timeline import TimeBudget
+
+
+def test_total_sums_buckets():
+    b = TimeBudget(freeze=1.0, compute=2.0, stall=3.0, analysis=0.5, copy=0.25, syscall=0.25)
+    assert b.total == pytest.approx(7.0)
+
+
+def test_add_accumulates():
+    b = TimeBudget()
+    b.add("compute", 1.5)
+    b.add("compute", 0.5)
+    assert b.compute == 2.0
+
+
+def test_add_negative_rejected():
+    with pytest.raises(ValueError):
+        TimeBudget().add("stall", -1.0)
+
+
+def test_add_unknown_bucket_fails():
+    with pytest.raises(AttributeError):
+        TimeBudget().add("nonsense", 1.0)
+
+
+def test_analysis_overhead_fraction():
+    b = TimeBudget(compute=99.0, analysis=1.0)
+    assert b.analysis_overhead_fraction == pytest.approx(0.01)
+
+
+def test_analysis_overhead_zero_total():
+    assert TimeBudget().analysis_overhead_fraction == 0.0
+
+
+def test_as_dict():
+    d = TimeBudget(freeze=1.0).as_dict()
+    assert d["freeze"] == 1.0
+    assert set(d) == {"freeze", "compute", "stall", "analysis", "copy", "syscall"}

@@ -1,0 +1,80 @@
+"""Unit tests for the RTT / bandwidth estimators behind oM_infoD."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkSpec
+from repro.errors import NetworkError
+from repro.net.link import Direction
+from repro.net.monitor import BandwidthEstimator, RttEstimator
+
+
+class TestRttEstimator:
+    def test_first_observation_becomes_estimate(self):
+        est = RttEstimator(smoothing=0.5)
+        assert est.estimate is None
+        est.observe(0.010)
+        assert est.estimate == pytest.approx(0.010)
+
+    def test_exponential_smoothing(self):
+        est = RttEstimator(smoothing=0.5, initial=0.010)
+        est.observe(0.020)
+        assert est.estimate == pytest.approx(0.015)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(NetworkError):
+            RttEstimator().observe(-0.001)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(NetworkError):
+            RttEstimator(smoothing=0.0)
+        with pytest.raises(NetworkError):
+            RttEstimator(smoothing=1.5)
+
+
+class TestBandwidthEstimator:
+    def make(self, min_fraction=0.05, smoothing=1.0):
+        direction = Direction(
+            NetworkSpec(bandwidth_bps=1e6, latency_s=0.0, per_message_overhead_bytes=0)
+        )
+        return direction, BandwidthEstimator(
+            direction, min_fraction=min_fraction, smoothing=smoothing
+        )
+
+    def test_defaults_to_capacity(self):
+        _, est = self.make()
+        assert est.available_bps == pytest.approx(1e6)
+
+    def test_idle_link_reports_capacity(self):
+        _, est = self.make()
+        est.observe(0.0)
+        est.observe(1.0)
+        assert est.available_bps == pytest.approx(1e6)
+
+    def test_half_loaded_link(self):
+        direction, est = self.make()
+        est.observe(0.0)
+        direction.transfer(500_000, now=0.0)  # 0.5 s of traffic in a 1 s window
+        est.observe(1.0)
+        assert est.available_bps == pytest.approx(0.5e6)
+
+    def test_saturated_link_floors(self):
+        direction, est = self.make(min_fraction=0.05)
+        est.observe(0.0)
+        direction.transfer(2_000_000, now=0.0)  # 2 s of traffic
+        est.observe(1.0)
+        assert est.available_bps == pytest.approx(0.05e6)
+
+    def test_smoothing_blends_samples(self):
+        direction, est = self.make(smoothing=0.5)
+        est.observe(0.0)
+        direction.transfer(500_000, now=0.0)
+        est.observe(1.0)  # fresh estimate 0.5e6, first sample -> 0.5e6
+        est.observe(2.0)  # idle second window: fresh 1e6 -> 0.75e6
+        assert est.available_bps == pytest.approx(0.75e6)
+
+    def test_invalid_min_fraction(self):
+        direction = Direction(NetworkSpec())
+        with pytest.raises(NetworkError):
+            BandwidthEstimator(direction, min_fraction=0.0)

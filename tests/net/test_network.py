@@ -1,0 +1,75 @@
+"""Unit tests for the network registry and DES-integrated delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkSpec
+from repro.errors import NetworkError
+from repro.net.message import Message, MessageKind
+from repro.net.network import Network
+
+
+def make_net(sim):
+    net = Network(sim)
+    net.connect(
+        "home",
+        "dest",
+        NetworkSpec(bandwidth_bps=1e6, latency_s=0.01, per_message_overhead_bytes=0),
+    )
+    return net
+
+
+def test_connect_registers_nodes(sim):
+    net = make_net(sim)
+    assert net.nodes == frozenset({"home", "dest"})
+
+
+def test_duplicate_link_rejected(sim):
+    net = make_net(sim)
+    with pytest.raises(NetworkError):
+        net.connect("dest", "home", NetworkSpec())
+
+
+def test_missing_link_raises(sim):
+    net = make_net(sim)
+    with pytest.raises(NetworkError):
+        net.direction("home", "elsewhere")
+
+
+def test_transfer_returns_arrival_time(sim):
+    net = make_net(sim)
+    assert net.transfer("home", "dest", 1000) == pytest.approx(0.011)
+
+
+def test_send_schedules_delivery_callback(sim):
+    net = make_net(sim)
+    seen = []
+    msg = Message(MessageKind.PAGE_REPLY, src="home", dst="dest", payload_bytes=1000)
+    net.send(msg, lambda m, t: seen.append((m.kind, t)))
+    sim.run()
+    assert seen == [(MessageKind.PAGE_REPLY, pytest.approx(0.011))]
+    assert sim.now == pytest.approx(0.011)
+
+
+def test_round_trip_time_unloaded(sim):
+    net = make_net(sim)
+    rtt = net.round_trip_time("home", "dest")
+    assert rtt == pytest.approx(0.02, rel=1e-6)
+
+
+def test_round_trip_time_does_not_occupy_link(sim):
+    net = make_net(sim)
+    net.round_trip_time("home", "dest", payload_bytes=10**6)
+    assert net.direction("home", "dest").queuing_delay(0.0) == 0.0
+
+
+def test_message_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        Message(MessageKind.SYSCALL, "a", "b", payload_bytes=-5)
+
+
+def test_add_node(sim):
+    net = Network(sim)
+    net.add_node("solo")
+    assert "solo" in net.nodes

@@ -1,0 +1,53 @@
+"""Unit tests for the proportional-share CPU model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.node.cpu import CpuModel
+
+
+def test_share_with_no_load():
+    cpu = CpuModel(2e9)
+    assert cpu.share() == 1.0
+    assert cpu.stretch() == 1.0
+
+
+def test_share_divides_among_runnable():
+    cpu = CpuModel(2e9)
+    cpu.acquire()
+    cpu.acquire()
+    assert cpu.runnable == 2
+    assert cpu.stretch() == 2.0
+    assert cpu.share() == pytest.approx(0.5)
+
+
+def test_release_restores():
+    cpu = CpuModel(2e9)
+    cpu.acquire()
+    cpu.release()
+    assert cpu.runnable == 0
+
+
+def test_release_without_acquire_raises():
+    with pytest.raises(SimulationError):
+        CpuModel(2e9).release()
+
+
+def test_utilization_accounting():
+    cpu = CpuModel(2e9)
+    cpu.charge(2.0)
+    assert cpu.utilization(4.0) == pytest.approx(0.5)
+    assert cpu.utilization(1.0) == 1.0  # clamped
+    assert cpu.utilization(0.0) == 0.0
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(SimulationError):
+        CpuModel(2e9).charge(-1.0)
+
+
+def test_invalid_hz():
+    with pytest.raises(SimulationError):
+        CpuModel(0)

@@ -1,0 +1,76 @@
+"""Unit tests for the origin-side deputy (remote paging server)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HardwareSpec, NetworkSpec
+from repro.errors import MemoryStateError
+from repro.mem.page_table import HomePageTable
+from repro.net.link import Direction
+from repro.node.deputy import Deputy
+
+
+def make(pages=range(10)):
+    hw = HardwareSpec()
+    reply = Direction(NetworkSpec())
+    deputy = Deputy(HomePageTable(pages), reply, hw)
+    return deputy, reply, hw
+
+
+def test_demand_page_is_served_first():
+    deputy, _, _ = make()
+    arrivals = deputy.serve_pages(demand=[5], prefetch=[1, 2], request_arrival=0.0)
+    assert arrivals[5] < arrivals[1] < arrivals[2]
+
+
+def test_served_pages_leave_the_hpt():
+    deputy, _, _ = make()
+    deputy.serve_pages([1], [2], request_arrival=0.0)
+    assert 1 not in deputy.hpt and 2 not in deputy.hpt
+    assert deputy.pages_served == 2
+    assert deputy.requests_served == 1
+
+
+def test_serving_missing_page_fails():
+    deputy, _, _ = make(pages=[1])
+    with pytest.raises(MemoryStateError):
+        deputy.serve_pages([99], [], request_arrival=0.0)
+
+
+def test_duplicate_page_in_request_fails():
+    deputy, _, _ = make()
+    with pytest.raises(MemoryStateError):
+        deputy.serve_pages([1], [1], request_arrival=0.0)
+
+
+def test_requests_queue_on_deputy_cpu():
+    deputy, _, hw = make()
+    a1 = deputy.serve_pages([1], [], request_arrival=0.0)
+    a2 = deputy.serve_pages([2], [], request_arrival=0.0)
+    # Second request starts after the first finished service.
+    assert a2[2] > a1[1]
+    assert deputy.busy_until > 0
+
+
+def test_arrivals_pipelined_on_the_wire():
+    deputy, reply, hw = make()
+    arrivals = deputy.serve_pages([0], [1, 2, 3], request_arrival=0.0)
+    times = [arrivals[p] for p in (0, 1, 2, 3)]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    wire = (hw.page_size + hw.remote_paging_overhead_bytes + reply.per_message_overhead_bytes) / reply.bandwidth_bps
+    # Once the channel saturates, pages arrive one serialization apart.
+    assert gaps[-1] == pytest.approx(wire, rel=0.01)
+
+
+def test_syscall_service():
+    deputy, _, hw = make()
+    reply_at = deputy.serve_syscall(request_arrival=0.0, service_time=0.001)
+    assert reply_at > 0.001
+    assert deputy.syscalls_served == 1
+
+
+def test_syscall_negative_service_time():
+    deputy, _, _ = make()
+    with pytest.raises(MemoryStateError):
+        deputy.serve_syscall(0.0, -0.1)

@@ -1,0 +1,31 @@
+"""Unit tests for seeded randomness helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import child_rng, make_rng
+
+
+def test_make_rng_reproducible():
+    a = make_rng(7).integers(0, 1000, size=10)
+    b = make_rng(7).integers(0, 1000, size=10)
+    assert np.array_equal(a, b)
+
+
+def test_child_rng_reproducible():
+    a = child_rng(7, "stream").integers(0, 1000, size=10)
+    b = child_rng(7, "stream").integers(0, 1000, size=10)
+    assert np.array_equal(a, b)
+
+
+def test_child_rng_label_independence():
+    a = child_rng(7, "alpha").integers(0, 10**9, size=20)
+    b = child_rng(7, "beta").integers(0, 10**9, size=20)
+    assert not np.array_equal(a, b)
+
+
+def test_child_rng_seed_matters():
+    a = child_rng(1, "x").integers(0, 10**9, size=20)
+    b = child_rng(2, "x").integers(0, 10**9, size=20)
+    assert not np.array_equal(a, b)

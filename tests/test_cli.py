@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+SMALL = "0.03125"  # 1/32
+
+
+def test_run_command(capsys):
+    rc = main(
+        ["run", "--kernel", "STREAM", "--mb", "115", "--scheme", "AMPoM", "--scale", SMALL]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "freeze time" in out
+    assert "fault requests" in out
+    assert "AMPoM" in out
+
+
+def test_run_broadband(capsys):
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "RandomAccess",
+            "--mb",
+            "65",
+            "--scheme",
+            "NoPrefetch",
+            "--scale",
+            SMALL,
+            "--broadband",
+        ]
+    )
+    assert rc == 0
+    assert "NoPrefetch" in capsys.readouterr().out
+
+
+def test_run_with_capacity(capsys):
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--capacity-pages",
+            "200",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "pages evicted" in out
+
+
+def test_run_json_output(capsys):
+    import json
+
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["strategy"] == "AMPoM"
+    assert payload["total_time_s"] == pytest.approx(
+        payload["freeze_time_s"] + payload["run_time_s"]
+    )
+    assert "counters" in payload and "budget" in payload
+
+
+def test_freeze_command(capsys):
+    rc = main(["freeze", "--kernel", "DGEMM", "--mb", "575", "--scheme", "openMosix"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "freeze time" in out
+    assert "575" in out
+
+
+def test_figure5_command(capsys):
+    rc = main(["figure", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Figure 5" in out
+    assert "openMosix" in out
+
+
+def test_figure10_command(capsys):
+    rc = main(["figure", "10", "--scale", SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Figure 10" in out
+
+
+def test_figure8_command(capsys):
+    rc = main(["figure", "8", "--scale", SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Figure 8" in out
+    assert "STREAM" in out
+
+
+@pytest.mark.parametrize("number,marker", [(6, "Figure 6"), (7, "Figure 7"), (11, "Figure 11")])
+def test_matrix_figure_commands(capsys, number, marker):
+    rc = main(["figure", str(number), "--scale", SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert marker in out
+    assert "DGEMM" in out
+
+
+def test_figure9_command(capsys):
+    rc = main(["figure", "9", "--scale", SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Figure 9" in out
+    assert "6Mb/s" in out
+
+
+def test_table1_command(capsys):
+    rc = main(["table1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "17350" in out  # the largest DGEMM problem size
+    assert "RandomAccess" in out
+
+
+def test_headline_command(capsys):
+    rc = main(["headline", "--scale", SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "freeze avoided" in out
+
+
+def test_export_command(tmp_path, capsys):
+    out = tmp_path / "figures.csv"
+    rc = main(["export", str(out), "--scale", SMALL])
+    assert rc == 0
+    assert out.exists()
+    header = out.read_text().splitlines()[0]
+    assert header == "figure,kernel,scheme,x,y"
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["teleport"])
+
+
+def test_invalid_kernel_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--kernel", "HPL", "--mb", "100", "--scheme", "AMPoM"])

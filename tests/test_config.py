@@ -1,0 +1,93 @@
+"""Unit tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AMPoMConfig,
+    HardwareSpec,
+    InfoDConfig,
+    NetworkSpec,
+    SimulationConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHardwareSpec:
+    def test_gideon_defaults(self):
+        hw = HardwareSpec()
+        assert hw.cpu_hz == 2.0e9
+        assert hw.ram_bytes == 512 * 1024 * 1024
+        assert hw.page_size == 4096
+        assert hw.mpt_entry_bytes == 6
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            HardwareSpec(page_size=3000)
+        with pytest.raises(ConfigurationError):
+            HardwareSpec(page_size=0)
+
+    def test_ram_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HardwareSpec(ram_bytes=0)
+
+
+class TestNetworkSpec:
+    def test_fast_ethernet_default(self):
+        spec = NetworkSpec.fast_ethernet()
+        assert spec.bandwidth_bps == pytest.approx(12.5e6)
+
+    def test_broadband(self):
+        spec = NetworkSpec.broadband()
+        assert spec.bandwidth_bps == pytest.approx(0.75e6)
+        assert spec.latency_s == pytest.approx(0.002)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(latency_s=-1)
+
+
+class TestAMPoMConfig:
+    def test_paper_parameters(self):
+        cfg = AMPoMConfig()
+        assert cfg.lookback_length == 20
+        assert cfg.dmax == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AMPoMConfig(lookback_length=1)
+        with pytest.raises(ConfigurationError):
+            AMPoMConfig(dmax=0)
+        with pytest.raises(ConfigurationError):
+            AMPoMConfig(dmax=20, lookback_length=20)
+        with pytest.raises(ConfigurationError):
+            AMPoMConfig(max_zone_pages=0)
+        with pytest.raises(ConfigurationError):
+            AMPoMConfig(min_zone_pages=300, max_zone_pages=256)
+        with pytest.raises(ConfigurationError):
+            AMPoMConfig(min_bandwidth_fraction=0.0)
+
+
+class TestSimulationConfig:
+    def test_with_network(self):
+        cfg = SimulationConfig().with_network(NetworkSpec.broadband())
+        assert cfg.network.latency_s == pytest.approx(0.002)
+        # Original untouched (frozen dataclasses).
+        assert SimulationConfig().network.latency_s == pytest.approx(0.00015)
+
+    def test_with_arbitrary_fields(self):
+        cfg = SimulationConfig().with_(seed=42)
+        assert cfg.seed == 42
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimulationConfig().seed = 1
+
+
+def test_infod_defaults():
+    cfg = InfoDConfig()
+    assert cfg.probe_interval == 1.0
+    assert cfg.daemon_delay == pytest.approx(0.010)

@@ -1,0 +1,86 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as living documentation; these tests import each one
+and call its ``main()`` with stdout captured, asserting the narrative
+output appears.  They are the slowest tests of the suite (each example
+runs real quarter-scale simulations).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "migration freeze" in out
+    assert "remote fault requests" in out
+
+
+def test_compare_schemes(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["compare_schemes.py", "STREAM", "115"])
+    load_example("compare_schemes").main()
+    out = capsys.readouterr().out
+    assert "openMosix" in out and "AMPoM" in out and "NoPrefetch" in out
+
+
+def test_working_set_migration(capsys):
+    load_example("working_set_migration").main()
+    out = capsys.readouterr().out
+    assert "figure 10" in out
+
+
+def test_network_adaptation(capsys):
+    mod = load_example("network_adaptation")
+    mod.run_static()
+    mod.run_dynamic()
+    out = capsys.readouterr().out
+    assert "broadband" in out
+    assert "Mid-run reshaping" in out
+
+
+def test_load_balancing(capsys):
+    load_example("load_balancing").main()
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "openmosix" in out
+
+
+def test_vm_migration(capsys):
+    load_example("vm_migration").main()
+    out = capsys.readouterr().out
+    assert "VM-AMPoM" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "compare_schemes",
+        "network_adaptation",
+        "working_set_migration",
+        "load_balancing",
+        "vm_migration",
+    ],
+)
+def test_example_exists_and_is_executable(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    assert path.exists()
+    first_line = path.read_text().splitlines()[0]
+    assert first_line.startswith("#!")

@@ -1,0 +1,55 @@
+"""Unit tests for unit constants and conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+    assert units.PAGE_SIZE == 4096
+    assert units.MPT_ENTRY_BYTES == 6
+
+
+def test_size_conversions():
+    assert units.mib(1) == 1024**2
+    assert units.mib(0.5) == 512 * 1024
+    assert units.kib(2) == 2048
+
+
+def test_rate_conversion():
+    # 100 Mb/s = 12.5 MB/s.
+    assert units.mbit_per_s(100) == pytest.approx(12.5e6)
+
+
+def test_time_conversions():
+    assert units.ms(2) == pytest.approx(0.002)
+    assert units.us(3) == pytest.approx(3e-6)
+
+
+def test_bytes_to_mib():
+    assert units.bytes_to_mib(units.mib(3)) == pytest.approx(3.0)
+
+
+def test_pages_for_exact_and_ceiling():
+    assert units.pages_for(4096) == 1
+    assert units.pages_for(4097) == 2
+    assert units.pages_for(0) == 0
+
+
+def test_pages_for_negative_rejected():
+    with pytest.raises(ValueError):
+        units.pages_for(-1)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_pages_for_covers_size(size):
+    pages = units.pages_for(size)
+    assert pages * units.PAGE_SIZE >= size
+    assert (pages - 1) * units.PAGE_SIZE < size or pages == 0

@@ -1,0 +1,78 @@
+"""Unit tests for the workload abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Syscall, TraceChunk, constant_chunk, interleave
+from repro.workloads.synthetic import SequentialWorkload
+
+
+def test_trace_chunk_validates_shapes():
+    with pytest.raises(ConfigurationError):
+        TraceChunk(pages=np.arange(3), compute=np.zeros(2))
+
+
+def test_trace_chunk_coerces_dtypes():
+    chunk = TraceChunk(pages=np.array([1, 2], dtype=np.int32), compute=np.array([1, 2]))
+    assert chunk.pages.dtype == np.int64
+    assert chunk.compute.dtype == np.float64
+    assert len(chunk) == 2
+    assert chunk.total_compute == pytest.approx(3.0)
+
+
+def test_constant_chunk():
+    chunk = constant_chunk(np.arange(4), 0.5)
+    assert chunk.total_compute == pytest.approx(2.0)
+
+
+def test_interleave_round_robin():
+    out = interleave([np.array([0, 1]), np.array([10, 11]), np.array([20, 21])])
+    assert out.tolist() == [0, 10, 20, 1, 11, 21]
+
+
+def test_interleave_validates():
+    with pytest.raises(ConfigurationError):
+        interleave([])
+    with pytest.raises(ConfigurationError):
+        interleave([np.array([1]), np.array([1, 2])])
+
+
+def test_workload_requires_setup_before_trace():
+    w = SequentialWorkload(4096 * 10)
+    with pytest.raises(ConfigurationError):
+        list(w.trace())
+
+
+def test_workload_rejects_nonpositive_memory():
+    with pytest.raises(ConfigurationError):
+        SequentialWorkload(0)
+
+
+def test_total_compute_estimate_matches_trace():
+    w = SequentialWorkload(4096 * 100, sweeps=2)
+    w.setup()
+    total = sum(
+        c.total_compute for c in w.trace() if isinstance(c, TraceChunk)
+    )
+    assert w.total_compute_estimate() == pytest.approx(total)
+
+
+def test_premigration_pages_default_none():
+    w = SequentialWorkload(4096 * 10)
+    w.setup()
+    assert w.premigration_pages() is None
+
+
+def test_data_pages_excludes_code_and_stack():
+    w = SequentialWorkload(4096 * 10)
+    space = w.setup()
+    assert w.data_pages() == space.region("data").n_pages
+
+
+def test_syscall_fields():
+    s = Syscall(service_time=0.001, reply_bytes=128)
+    assert s.service_time == 0.001
+    assert s.reply_bytes == 128

@@ -1,0 +1,70 @@
+"""Unit tests for the DGEMM trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.dgemm import DgemmWorkload
+
+
+def test_three_matrices():
+    w = DgemmWorkload(mib(3))
+    space = w.setup()
+    for name in ("A", "B", "C"):
+        assert space.region(name).n_pages == w.pages_per_matrix
+
+
+def test_b_is_reswept_per_panel():
+    w = DgemmWorkload(mib(3), panels=4)
+    w.setup()
+    b = w.address_space.region("B")
+    refs = np.concatenate([c.pages for c in w.trace()])
+    b_refs = refs[(refs >= b.start_page) & (refs < b.end_page)]
+    # B visited panels times in full.
+    assert len(b_refs) == 4 * w.pages_per_matrix
+
+
+def test_a_and_c_swept_once():
+    w = DgemmWorkload(mib(3), panels=4)
+    w.setup()
+    refs = np.concatenate([c.pages for c in w.trace()])
+    for name in ("A", "C"):
+        region = w.address_space.region(name)
+        in_region = refs[(refs >= region.start_page) & (refs < region.end_page)]
+        assert len(in_region) == w.pages_per_matrix
+        assert len(np.unique(in_region)) == w.pages_per_matrix
+
+
+def test_panel_pages_are_sequential():
+    w = DgemmWorkload(mib(3), panels=4, chunk_pages=10_000)
+    w.setup()
+    first = next(iter(w.trace()))
+    diffs = np.diff(first.pages)
+    assert np.all(diffs == 1)
+
+
+def test_explicit_panels_override():
+    w = DgemmWorkload(mib(3), panels=7)
+    assert w.panels == 7
+
+
+def test_panels_derived_from_block_rows():
+    w = DgemmWorkload(mib(3), block_rows=64)
+    assert w.panels == -(-w.n // 64)
+
+
+def test_compute_estimate_matches_trace():
+    w = DgemmWorkload(mib(2), panels=3)
+    w.setup()
+    traced = sum(c.total_compute for c in w.trace())
+    assert w.total_compute_estimate() == pytest.approx(traced, rel=0.05)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DgemmWorkload(mib(1), panels=0)
+    with pytest.raises(ConfigurationError):
+        DgemmWorkload(mib(1), block_rows=0)

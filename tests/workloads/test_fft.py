@@ -1,0 +1,93 @@
+"""Unit tests for the FFT trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.base import TraceChunk
+from repro.workloads.fft import FftWorkload
+
+
+def test_two_arrays_of_half_memory():
+    w = FftWorkload(mib(2))
+    space = w.setup()
+    assert space.region("data").n_pages == w.pages_per_array
+    assert space.region("work").n_pages == w.pages_per_array
+
+
+def test_reference_count():
+    w = FftWorkload(mib(1), passes=3)
+    w.setup()
+    total = sum(len(c) for c in w.trace() if isinstance(c, TraceChunk))
+    # Bit-reversal (2n) + 3 passes of (src n + dst n).
+    assert total == 2 * w.pages_per_array + 3 * 2 * w.pages_per_array
+
+
+def test_trace_covers_both_arrays():
+    w = FftWorkload(mib(1), passes=2)
+    w.setup()
+    touched = set(np.concatenate([c.pages for c in w.trace()]).tolist())
+    for name in ("data", "work"):
+        region = w.address_space.region(name)
+        assert set(range(region.start_page, region.end_page)) <= touched
+
+
+def test_bitrev_destination_runs_are_sequential_blocks():
+    w = FftWorkload(mib(4), passes=1, reorder_block_pages=8, chunk_pages=10_000)
+    w.setup()
+    first = next(iter(w.trace()))
+    dst = first.pages[1::2]  # interleaved [src, dst, src, dst, ...]
+    diffs = np.diff(dst)
+    # Within a block the destination advances by one page.
+    frac_sequential = np.mean(diffs == 1)
+    assert frac_sequential > 0.8
+
+
+def test_butterfly_pass_interleaves_radix_streams():
+    w = FftWorkload(mib(4), radix=4, passes=1, chunk_pages=10_000)
+    w.setup()
+    chunks = [c for c in w.trace()]
+    # Skip the bit-reversal chunk(s); the first stream-pass chunk follows.
+    n = w.pages_per_array
+    seg = n // 4
+    pass_chunk = chunks[-(2 * ((n + w.chunk_pages - 1) // w.chunk_pages) + 1)]
+    del pass_chunk  # structural selection is brittle; test via strides instead
+    stream_chunk = None
+    work0 = w.address_space.region("work").start_page
+    for c in chunks:
+        p = c.pages
+        if len(p) >= 8 and p[0] == work0 and p[1] == work0 + seg:
+            stream_chunk = p
+            break
+    assert stream_chunk is not None, "radix-4 stream pass not found"
+    assert stream_chunk[4] == work0 + 1  # same stream advances by one page
+
+
+def test_passes_default_is_log_radix():
+    w = FftWorkload(mib(64), radix=4)
+    import math
+
+    assert w.passes == math.ceil(math.log(w.n_elements, 4))
+
+
+def test_explicit_passes_override():
+    assert FftWorkload(mib(1), passes=9).passes == 9
+
+
+def test_compute_estimate_matches_trace():
+    w = FftWorkload(mib(1), passes=2)
+    w.setup()
+    traced = sum(c.total_compute for c in w.trace())
+    assert w.total_compute_estimate() == pytest.approx(traced)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        FftWorkload(mib(1), radix=1)
+    with pytest.raises(ConfigurationError):
+        FftWorkload(mib(1), passes=0)
+    with pytest.raises(ConfigurationError):
+        FftWorkload(mib(1), reorder_block_pages=0)

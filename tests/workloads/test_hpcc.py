@@ -1,0 +1,69 @@
+"""Unit tests for the table-1 registry and the workload factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.dgemm import DgemmWorkload
+from repro.workloads.fft import FftWorkload
+from repro.workloads.hpcc import HPCC_SIZES, hpcc_workload, kernel_sizes_mb
+
+
+def test_table1_has_all_18_rows():
+    assert len(HPCC_SIZES) == 18
+
+
+def test_table1_sizes_match_paper():
+    assert kernel_sizes_mb("DGEMM") == (115, 230, 345, 460, 575)
+    assert kernel_sizes_mb("STREAM") == (115, 230, 345, 460, 575)
+    assert kernel_sizes_mb("RandomAccess") == (65, 129, 260, 513)
+    assert kernel_sizes_mb("FFT") == (65, 129, 260, 513)
+
+
+def test_problem_sizes_match_paper():
+    dgemm = [c.problem_size for c in HPCC_SIZES if c.kernel == "DGEMM"]
+    assert dgemm == [7600, 10850, 13350, 15450, 17350]
+    ra = [c.problem_size for c in HPCC_SIZES if c.kernel == "RandomAccess"]
+    assert ra == [8000, 11000, 16000, 23000]
+
+
+def test_factory_builds_each_kernel():
+    for kernel in ("DGEMM", "STREAM", "RandomAccess", "FFT"):
+        w = hpcc_workload(kernel, 65, scale=0.1)
+        assert w.memory_bytes == mib(6.5)
+
+
+def test_factory_unknown_kernel():
+    with pytest.raises(ConfigurationError):
+        hpcc_workload("HPL", 100)
+
+
+def test_factory_invalid_scale():
+    with pytest.raises(ConfigurationError):
+        hpcc_workload("DGEMM", 100, scale=0)
+
+
+def test_scaled_dgemm_keeps_full_size_panel_count():
+    full = DgemmWorkload(mib(575))
+    scaled = hpcc_workload("DGEMM", 575, scale=1 / 16)
+    assert isinstance(scaled, DgemmWorkload)
+    assert scaled.panels == full.panels
+
+
+def test_scaled_fft_keeps_full_size_pass_count():
+    full = FftWorkload(mib(513))
+    scaled = hpcc_workload("FFT", 513, scale=1 / 16)
+    assert isinstance(scaled, FftWorkload)
+    assert scaled.passes == full.passes
+
+
+def test_explicit_kwargs_win_over_scaling_defaults():
+    scaled = hpcc_workload("DGEMM", 575, scale=1 / 16, panels=5)
+    assert scaled.panels == 5
+
+
+def test_unknown_kernel_sizes():
+    with pytest.raises(ConfigurationError):
+        kernel_sizes_mb("HPL")

@@ -1,0 +1,128 @@
+"""Unit tests for the multi-process (VM) workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.base import Syscall, TraceChunk
+from repro.workloads.multiprocess import MultiProcessWorkload
+from repro.workloads.synthetic import AllocatingWorkload, SequentialWorkload, UniformRandomWorkload
+
+
+def make_vm(slice_refs=8):
+    return MultiProcessWorkload(
+        [SequentialWorkload(mib(1)), UniformRandomWorkload(mib(1), n_references=256)],
+        slice_refs=slice_refs,
+    )
+
+
+def test_combined_address_space():
+    vm = make_vm()
+    space = vm.setup()
+    bounds = vm.process_boundaries()
+    assert len(bounds) == 2
+    assert bounds[0][1] <= bounds[1][0]
+    assert bounds[1][1] <= space.total_pages
+
+
+def test_trace_stays_in_owner_blocks():
+    vm = make_vm()
+    vm.setup()
+    bounds = vm.process_boundaries()
+    for chunk in vm.trace():
+        if not isinstance(chunk, TraceChunk):
+            continue
+        owner = vm.process_of(int(chunk.pages[0]))
+        lo, hi = bounds[owner]
+        assert chunk.pages.min() >= lo
+        assert chunk.pages.max() < hi
+
+
+def test_slices_interleave_round_robin():
+    vm = make_vm(slice_refs=4)
+    vm.setup()
+    owners = []
+    for chunk in vm.trace():
+        if isinstance(chunk, TraceChunk):
+            owners.append(vm.process_of(int(chunk.pages[0])))
+        if len(owners) >= 6:
+            break
+    assert owners[:6] == [0, 1, 0, 1, 0, 1]
+
+
+def test_slice_length_bounded():
+    vm = make_vm(slice_refs=8)
+    vm.setup()
+    assert all(
+        len(c) <= 8 for c in vm.trace() if isinstance(c, TraceChunk)
+    )
+
+
+def test_total_references_preserved():
+    inner = [SequentialWorkload(mib(1)), UniformRandomWorkload(mib(1), n_references=256)]
+    expected = 0
+    for w in inner:
+        w.setup()
+        expected += sum(len(c) for c in w.trace() if isinstance(c, TraceChunk))
+    vm = MultiProcessWorkload(
+        [SequentialWorkload(mib(1)), UniformRandomWorkload(mib(1), n_references=256)]
+    )
+    vm.setup()
+    got = sum(len(c) for c in vm.trace() if isinstance(c, TraceChunk))
+    assert got == expected
+
+
+def test_uneven_streams_drain_independently():
+    vm = MultiProcessWorkload(
+        [SequentialWorkload(mib(2)), UniformRandomWorkload(mib(1), n_references=16)],
+        slice_refs=8,
+    )
+    vm.setup()
+    owners = [
+        vm.process_of(int(c.pages[0])) for c in vm.trace() if isinstance(c, TraceChunk)
+    ]
+    # The short random stream finishes; the tail is all process 0.
+    assert set(owners[-4:]) == {0}
+    assert 1 in owners
+
+
+def test_syscalls_pass_through():
+    vm = MultiProcessWorkload(
+        [SequentialWorkload(mib(1), syscall_every_sweep=Syscall(0.001))],
+    )
+    vm.setup()
+    assert sum(1 for e in vm.trace() if isinstance(e, Syscall)) == 1
+
+
+def test_creates_pages_propagates():
+    vm = MultiProcessWorkload(
+        [SequentialWorkload(mib(1)), AllocatingWorkload(mib(1))]
+    )
+    assert vm.creates_pages
+    vm.setup()
+    pre = vm.premigration_pages()
+    assert pre is not None
+    fresh = vm.processes[1].address_space.region("fresh")
+    offset = vm.process_boundaries()[1][0]
+    assert (offset + fresh.start_page) not in pre
+
+
+def test_compute_estimate_is_sum():
+    vm = make_vm()
+    vm.setup()
+    expected = sum(w.total_compute_estimate() for w in vm.processes)
+    assert vm.total_compute_estimate() == pytest.approx(expected)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        MultiProcessWorkload([])
+    with pytest.raises(ConfigurationError):
+        MultiProcessWorkload([SequentialWorkload(mib(1))], slice_refs=0)
+    with pytest.raises(ConfigurationError):
+        MultiProcessWorkload(
+            [SequentialWorkload(mib(1), page_size=8192)], page_size=4096
+        )

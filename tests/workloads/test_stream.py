@@ -1,0 +1,72 @@
+"""Unit tests for the STREAM trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.base import TraceChunk
+from repro.workloads.stream import StreamWorkload
+
+
+def collect(workload):
+    workload.setup()
+    return [c for c in workload.trace() if isinstance(c, TraceChunk)]
+
+
+def test_three_equal_arrays():
+    w = StreamWorkload(mib(3))
+    space = w.setup()
+    for name in ("a", "b", "c"):
+        assert space.region(name).n_pages == w.pages_per_array
+
+
+def test_trace_covers_all_arrays():
+    w = StreamWorkload(mib(1), iterations=1)
+    chunks = collect(w)
+    touched = set(np.concatenate([c.pages for c in chunks]).tolist())
+    space = w.address_space
+    for name in ("a", "b", "c"):
+        region = space.region(name)
+        assert set(range(region.start_page, region.end_page)) <= touched
+
+
+def test_reference_count_formula():
+    w = StreamWorkload(mib(1), iterations=3)
+    chunks = collect(w)
+    total_refs = sum(len(c) for c in chunks)
+    # per iteration: copy 2 + scale 2 + add 3 + triad 3 operand sweeps
+    assert total_refs == 3 * 10 * w.pages_per_array
+
+
+def test_interleaving_shape():
+    """The add operation interleaves three streams page by page."""
+    w = StreamWorkload(mib(1), iterations=1, chunk_pages=64)
+    chunks = collect(w)
+    # First chunk belongs to the copy op: a and c interleaved.
+    first = chunks[0].pages
+    a0 = w.address_space.region("a").start_page
+    c0 = w.address_space.region("c").start_page
+    assert first[0] == a0 and first[1] == c0
+    assert first[2] == a0 + 1 and first[3] == c0 + 1
+
+
+def test_compute_estimate_matches_trace():
+    w = StreamWorkload(mib(1), iterations=2)
+    w.setup()
+    traced = sum(c.total_compute for c in w.trace())
+    assert w.total_compute_estimate() == pytest.approx(traced)
+
+
+def test_iterations_validation():
+    with pytest.raises(ConfigurationError):
+        StreamWorkload(mib(1), iterations=0)
+
+
+def test_chunking_respects_chunk_pages():
+    w = StreamWorkload(mib(4), iterations=1, chunk_pages=32)
+    chunks = collect(w)
+    # Chunks hold at most chunk_pages * operands references.
+    assert max(len(c) for c in chunks) <= 32 * 3

@@ -1,0 +1,102 @@
+"""Unit tests for the synthetic workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.base import Syscall, TraceChunk
+from repro.workloads.synthetic import (
+    AllocatingWorkload,
+    SequentialWorkload,
+    StridedWorkload,
+    UniformRandomWorkload,
+)
+
+
+class TestSequential:
+    def test_sweeps_in_order(self):
+        w = SequentialWorkload(4096 * 10, sweeps=2)
+        w.setup()
+        pages = np.concatenate([c.pages for c in w.trace() if isinstance(c, TraceChunk)])
+        start = w.address_space.region("data").start_page
+        expected = np.tile(np.arange(start, start + 10), 2)
+        assert np.array_equal(pages, expected)
+
+    def test_syscall_emitted_per_sweep(self):
+        w = SequentialWorkload(
+            4096 * 4, sweeps=3, syscall_every_sweep=Syscall(service_time=0.001)
+        )
+        w.setup()
+        syscalls = [e for e in w.trace() if isinstance(e, Syscall)]
+        assert len(syscalls) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SequentialWorkload(4096, sweeps=0)
+
+
+class TestUniformRandom:
+    def test_reference_count_default(self):
+        w = UniformRandomWorkload(4096 * 100)
+        w.setup()
+        refs = np.concatenate([c.pages for c in w.trace()])
+        assert len(refs) == 2 * w.n_pages
+
+    def test_explicit_reference_count(self):
+        w = UniformRandomWorkload(4096 * 100, n_references=55)
+        w.setup()
+        assert sum(len(c) for c in w.trace()) == 55
+
+    def test_in_bounds(self):
+        w = UniformRandomWorkload(4096 * 50)
+        w.setup()
+        refs = np.concatenate([c.pages for c in w.trace()])
+        region = w.address_space.region("data")
+        assert refs.min() >= region.start_page and refs.max() < region.end_page
+
+
+class TestStrided:
+    def test_streams_interleaved(self):
+        w = StridedWorkload(4096 * 90, streams=3, chunk_pages=30)
+        w.setup()
+        first = next(iter(w.trace())).pages
+        seg = w.n_pages // 3
+        start = w.address_space.region("data").start_page
+        assert first[0] == start
+        assert first[1] == start + seg
+        assert first[2] == start + 2 * seg
+        assert first[3] == start + 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StridedWorkload(4096, streams=0)
+
+
+class TestAllocating:
+    def test_fresh_pages_excluded_from_premigration(self):
+        w = AllocatingWorkload(mib(1), fresh_fraction=0.5)
+        w.setup()
+        pre = w.premigration_pages()
+        fresh = w.address_space.region("fresh")
+        assert pre is not None
+        assert not any(vpn in pre for vpn in range(fresh.start_page, fresh.end_page))
+        old = w.address_space.region("old")
+        assert all(vpn in pre for vpn in range(old.start_page, old.end_page))
+
+    def test_trace_touches_old_then_fresh(self):
+        w = AllocatingWorkload(mib(1))
+        w.setup()
+        refs = np.concatenate([c.pages for c in w.trace()])
+        fresh = w.address_space.region("fresh")
+        first_fresh = np.argmax(refs >= fresh.start_page)
+        assert np.all(refs[:first_fresh] < fresh.start_page)
+
+    def test_creates_pages_flag(self):
+        assert AllocatingWorkload(mib(1)).creates_pages
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AllocatingWorkload(mib(1), fresh_fraction=0.0)

@@ -1,0 +1,53 @@
+"""Unit tests for the section-5.6 working-set DGEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import mib
+from repro.workloads.workingset import WorkingSetDgemmWorkload
+
+
+def test_allocation_exceeds_working_set():
+    w = WorkingSetDgemmWorkload(memory_bytes=mib(8), working_set_bytes=mib(2))
+    space = w.setup()
+    assert space.region("surplus").n_pages == w.surplus_pages
+    assert w.surplus_pages > 0
+    # Total data allocation covers the full memory_bytes.
+    data_bytes = w.data_pages() * w.page_size
+    assert data_bytes >= mib(8) - 3 * w.page_size
+
+
+def test_trace_never_touches_surplus():
+    w = WorkingSetDgemmWorkload(memory_bytes=mib(8), working_set_bytes=mib(2), panels=3)
+    w.setup()
+    surplus = w.address_space.region("surplus")
+    refs = np.concatenate([c.pages for c in w.trace()])
+    assert not np.any((refs >= surplus.start_page) & (refs < surplus.end_page))
+
+
+def test_full_working_set_has_no_surplus():
+    w = WorkingSetDgemmWorkload(memory_bytes=mib(4), working_set_bytes=mib(4))
+    space = w.setup()
+    assert w.surplus_pages == 0
+    with pytest.raises(Exception):
+        space.region("surplus")
+
+
+def test_surplus_is_dirty():
+    """openMosix must ship the surplus; AMPoM never fetches it."""
+    w = WorkingSetDgemmWorkload(memory_bytes=mib(8), working_set_bytes=mib(2))
+    space = w.setup()
+    surplus = space.region("surplus")
+    assert all(
+        vpn in space.dirty_pages for vpn in range(surplus.start_page, surplus.end_page)
+    )
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        WorkingSetDgemmWorkload(memory_bytes=mib(2), working_set_bytes=mib(4))
+    with pytest.raises(ConfigurationError):
+        WorkingSetDgemmWorkload(memory_bytes=mib(2), working_set_bytes=0)

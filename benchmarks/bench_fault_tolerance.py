@@ -1,0 +1,88 @@
+"""Fault tolerance: runtime and retransmission cost across loss rates.
+
+Sweeps the reliable remote-paging protocol over message-loss rates
+{0, 0.1%, 1%, 5%} for two HPCC workloads (sequential STREAM and pointer-
+chasing RandomAccess).  Reports run time, drops, timeouts, retransmits,
+and wasted (written-off) pages per cell.  The zero-loss row doubles as a
+regression anchor: it must match the fault-free code path exactly.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.runner import MigrationRun
+from repro.config import FaultSpec
+from repro.experiments import figures
+from repro.metrics.report import FAULT_SUMMARY_HEADERS, fault_summary_row, format_table
+from repro.workloads.hpcc import hpcc_workload
+
+from ._common import emit
+
+SCALE = 0.03125
+LOSS_RATES = (0.0, 0.001, 0.01, 0.05)
+WORKLOADS = (("STREAM", 115.0), ("RandomAccess", 65.0))
+
+
+def _run_cell(kernel: str, mb: float, loss_rate: float):
+    config = figures.scaled_config(SCALE, seed=0)
+    if loss_rate > 0.0:
+        config = config.with_(faults=FaultSpec(loss_rate=loss_rate))
+    run = MigrationRun(
+        hpcc_workload(kernel, mb, scale=SCALE),
+        figures.make_strategy("AMPoM"),
+        config=config,
+    )
+    return run.execute()
+
+
+def _sweep():
+    rows = []
+    clean = {}
+    for kernel, mb in WORKLOADS:
+        for loss in LOSS_RATES:
+            result = _run_cell(kernel, mb, loss)
+            if loss == 0.0:
+                clean[kernel] = result
+            rows.append([kernel, f"{loss:.1%}"] + fault_summary_row(result))
+    return rows, clean
+
+
+def bench_fault_tolerance(benchmark):
+    rows, clean = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "fault_tolerance",
+        format_table(["kernel", "loss"] + FAULT_SUMMARY_HEADERS, rows),
+    )
+
+    by_cell = {(r[0], r[1]): r for r in rows}
+    for kernel, _mb in WORKLOADS:
+        zero = by_cell[(kernel, "0.0%")]
+        # Zero loss means zero reliability machinery engaged.
+        assert zero[3:] == [0, 0, 0, 0, 0]
+        # Loss costs time and retransmissions, monotonically in tendency:
+        # the 5% cell is strictly worse than the clean run.
+        worst = by_cell[(kernel, "5.0%")]
+        assert worst[2] > zero[2]  # run time
+        assert worst[3] > 0  # retransmits
+        assert worst[5] > 0  # drops
+        # Every cell completed (no hang, no MigrationError) — reaching
+        # this assertion is the proof.
+        assert len(rows) == len(WORKLOADS) * len(LOSS_RATES)
+
+
+# Also expose the fault-free vs fault-injected comparison for a clean-run
+# identity check usable without the benchmark harness.
+def verify_zero_loss_identity():
+    """The loss_rate=0 sweep cell is bit-identical to the seed path."""
+    kernel, mb = WORKLOADS[0]
+    a = _run_cell(kernel, mb, 0.0).to_dict()
+    config = figures.scaled_config(SCALE, seed=0)
+    b = (
+        MigrationRun(
+            hpcc_workload(kernel, mb, scale=SCALE),
+            figures.make_strategy("AMPoM"),
+            config=config,
+        )
+        .execute()
+        .to_dict()
+    )
+    return a == b

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-from .config import NetworkSpec
+from .config import FaultSpec, NetworkSpec, RetrySpec
 from .cluster.runner import MigrationRun
 from .experiments import figures, tables
 from .metrics.report import format_table
@@ -58,6 +58,51 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--json", action="store_true", help="emit the result as a JSON object"
     )
+    faults = run.add_argument_group(
+        "fault injection", "seeded network/node faults (see docs/FAULTS.md)"
+    )
+    faults.add_argument(
+        "--loss-rate", type=float, default=0.0, help="message loss probability"
+    )
+    faults.add_argument(
+        "--dup-rate", type=float, default=0.0, help="message duplication probability"
+    )
+    faults.add_argument(
+        "--delay-rate", type=float, default=0.0, help="message delay probability"
+    )
+    faults.add_argument(
+        "--delay-ms", type=float, default=5.0, help="extra delay per delayed message"
+    )
+    faults.add_argument(
+        "--link-down",
+        nargs=2,
+        type=float,
+        action="append",
+        metavar=("START", "END"),
+        default=None,
+        help="link outage window in seconds after resume (repeatable)",
+    )
+    faults.add_argument(
+        "--deputy-crash",
+        nargs=2,
+        type=float,
+        action="append",
+        metavar=("START", "END"),
+        default=None,
+        help="deputy crash/restart window in simulation seconds (repeatable)",
+    )
+    faults.add_argument(
+        "--retry-timeout-ms",
+        type=float,
+        default=None,
+        help="base retransmission timeout (default from RetrySpec)",
+    )
+    faults.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retransmission attempts before giving up",
+    )
 
     freeze = sub.add_parser(
         "freeze", help="measure only the migration freeze (full scale)"
@@ -85,10 +130,39 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _fault_spec_from_args(args: argparse.Namespace) -> FaultSpec:
+    return FaultSpec(
+        loss_rate=args.loss_rate,
+        duplicate_rate=args.dup_rate,
+        delay_rate=args.delay_rate,
+        delay_s=args.delay_ms / 1000.0,
+        link_down_windows=tuple(tuple(w) for w in (args.link_down or ())),
+        deputy_crash_windows=tuple(tuple(w) for w in (args.deputy_crash or ())),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = figures.scaled_config(args.scale, seed=args.seed)
     if args.broadband:
         config = config.with_network(NetworkSpec.broadband())
+    fault_spec = _fault_spec_from_args(args)
+    if fault_spec.active:
+        retry = config.retry
+        if args.retry_timeout_ms is not None:
+            retry = RetrySpec(
+                timeout_s=args.retry_timeout_ms / 1000.0,
+                backoff=retry.backoff,
+                max_attempts=retry.max_attempts,
+                jitter_frac=retry.jitter_frac,
+            )
+        if args.max_retries is not None:
+            retry = RetrySpec(
+                timeout_s=retry.timeout_s,
+                backoff=retry.backoff,
+                max_attempts=args.max_retries,
+                jitter_frac=retry.jitter_frac,
+            )
+        config = config.with_(faults=fault_spec, retry=retry)
     workload = hpcc_workload(args.kernel, args.mb, scale=args.scale)
     run = MigrationRun(
         workload,
@@ -111,6 +185,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"fault requests  : {c.page_fault_requests}")
     print(f"pages prefetched: {c.pages_prefetched}")
     print(f"pages evicted   : {c.pages_evicted}")
+    if config.faults.active:
+        print(f"drops           : {c.messages_dropped}")
+        print(f"timeouts        : {c.request_timeouts}")
+        print(f"retransmits     : {c.retransmits}")
+        print(f"wasted pages    : {c.prefetch_writeoffs}")
+        print(f"crash detects   : {c.deputy_crash_detections}")
     for bucket, seconds in result.budget.as_dict().items():
         print(f"  {bucket:9s}: {seconds:.4f} s")
     return 0

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from ..config import SimulationConfig
 from ..errors import MigrationError
+from ..faults import FaultInjectionLog, FaultPlan, install_lossy_link
 from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
 from ..metrics.eventlog import FaultLog
 from ..migration.executor import ExecutionResult, MigrantExecutor
@@ -28,6 +29,7 @@ from ..migration.ffa import FfaMigration
 from ..net.shaper import TrafficShaper
 from ..node.infod import InfoDaemon
 from ..sim import Simulator, Timeout
+from ..sim.rng import child_rng
 from ..workloads.base import Workload
 
 HOME = "home"
@@ -74,6 +76,27 @@ class MigrationRun:
         self.infod: InfoDaemon | None = None
         self.result: ExecutionResult | None = None
 
+        # Fault injection: when the spec can perturb anything, wrap the
+        # home<->dest link in lossy directions driven by a seeded plan.
+        # Random injection is armed only once the migrant resumes (see
+        # _scenario), so the freeze-time bulk transfer stays untouched.
+        self.fault_plan: FaultPlan | None = None
+        self.injection_log: FaultInjectionLog | None = None
+        if self.config.faults.active:
+            if isinstance(strategy, FfaMigration):
+                raise MigrationError(
+                    "fault injection requires a deputy-backed scheme; the FFA "
+                    "file-server protocol has no retransmission path"
+                )
+            self.injection_log = FaultInjectionLog()
+            self.fault_plan = FaultPlan(
+                self.config.faults,
+                seed=self.config.seed,
+                log=self.injection_log,
+                active_from=float("inf"),
+            )
+            install_lossy_link(self.cluster.network, HOME, DEST, self.fault_plan)
+
         if (shaped_bandwidth_bps is None) != (shaped_latency_s is None):
             raise MigrationError(
                 "shaped_bandwidth_bps and shaped_latency_s must be set together"
@@ -104,6 +127,7 @@ class MigrationRun:
             address_space=space,
             premigration_pages=self.workload.premigration_pages(),
             file_server=FILE_SERVER if isinstance(self.strategy, FfaMigration) else None,
+            fault_plan=self.fault_plan,
         )
         self.outcome = self.strategy.perform(ctx)
         return self.outcome
@@ -123,6 +147,7 @@ class MigrationRun:
             address_space=space,
             premigration_pages=self.workload.premigration_pages(),
             file_server=FILE_SERVER if isinstance(self.strategy, FfaMigration) else None,
+            fault_plan=self.fault_plan,
         )
         main = self.sim.spawn(self._scenario(ctx), name="scenario")
         result = self.sim.run_until_complete(main, max_events=self.max_events)
@@ -142,6 +167,9 @@ class MigrationRun:
                 config=self.config.infod,
                 min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
             )
+        if self.fault_plan is not None:
+            # Faults begin the instant the migrant resumes.
+            self.fault_plan.activate(self.sim.now + outcome.freeze_time)
         yield Timeout(outcome.freeze_time)
         executor = MigrantExecutor(
             sim=self.sim,
@@ -152,6 +180,11 @@ class MigrationRun:
             infod=self.infod,
             capacity_pages=self.capacity_pages,
             fault_log=self.fault_log,
+            retry=self.config.retry if self.fault_plan is not None else None,
+            retry_rng=(
+                child_rng(self.config.seed, "retry") if self.fault_plan is not None else None
+            ),
+            injection_log=self.injection_log,
         )
         proc = executor.start()
         result = yield proc

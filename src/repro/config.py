@@ -73,12 +73,18 @@ class NetworkSpec:
     per_message_overhead_bytes: int = 66
     #: Per-page protocol overhead on top of the raw page payload.
     per_page_overhead_bytes: int = 48
+    #: How far back (seconds) the per-transfer log must stay exact for
+    #: byte-counter queries; older entries are compacted away so the log
+    #: stays bounded on long runs (the monitor samples every ~1 s).
+    counter_horizon_s: float = 16.0
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
             raise ConfigurationError("bandwidth_bps must be positive")
         if self.latency_s < 0:
             raise ConfigurationError("latency_s must be non-negative")
+        if self.counter_horizon_s < 0:
+            raise ConfigurationError("counter_horizon_s must be non-negative")
 
     @classmethod
     def fast_ethernet(cls) -> "NetworkSpec":
@@ -154,6 +160,111 @@ class InfoDConfig:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic fault-injection model for the paging path.
+
+    All randomness is drawn from per-channel streams derived from the
+    experiment seed (:func:`repro.sim.rng.child_rng`), so the same seed
+    always produces the same drop/duplicate/delay schedule.  The default
+    spec injects nothing and leaves every simulation bit-identical to the
+    fault-free code path.
+
+    Windows are absolute simulated times ``(start, end)``; fault injection
+    only begins once the migrant resumes (the freeze-time bulk transfer
+    runs over TCP in the modelled systems and is out of scope).
+    """
+
+    #: Probability that a message is lost downstream (it still occupies
+    #: the sender's wire time, like a frame dropped by a switch).
+    loss_rate: float = 0.0
+    #: Probability that a delivered message is duplicated on the wire.
+    duplicate_rate: float = 0.0
+    #: Probability that a delivered message is delayed by ``delay_s``.
+    delay_rate: float = 0.0
+    #: Extra one-way delay applied to delayed messages (seconds).
+    delay_s: float = 0.0
+    #: Scheduled link outages; messages submitted inside a window vanish
+    #: without occupying the wire (the link is physically down).
+    link_down_windows: tuple[tuple[float, float], ...] = ()
+    #: Scheduled deputy crash windows; paging/syscall requests arriving
+    #: inside a window are silently ignored (state survives the restart).
+    deputy_crash_windows: tuple[tuple[float, float], ...] = ()
+    #: How many recently released pages the deputy keeps re-sendable so a
+    #: retransmitted request does not hit "origin no longer stores it".
+    replay_cache_pages: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1]: {rate}")
+        if self.delay_s < 0:
+            raise ConfigurationError(f"delay_s must be non-negative: {self.delay_s}")
+        if self.replay_cache_pages < 0:
+            raise ConfigurationError("replay_cache_pages must be non-negative")
+        for label in ("link_down_windows", "deputy_crash_windows"):
+            windows = tuple(tuple(w) for w in getattr(self, label))
+            object.__setattr__(self, label, windows)
+            for window in windows:
+                if len(window) != 2 or not window[0] < window[1]:
+                    raise ConfigurationError(
+                        f"{label} entries must be (start, end) with start < end: {window}"
+                    )
+            for (_, a_end), (b_start, _) in zip(windows, windows[1:]):
+                if b_start < a_end:
+                    raise ConfigurationError(f"{label} must be sorted and non-overlapping")
+
+    @property
+    def active(self) -> bool:
+        """True if this spec can ever perturb a message."""
+        return bool(
+            self.loss_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or (self.delay_rate > 0.0 and self.delay_s > 0.0)
+            or self.link_down_windows
+            or self.deputy_crash_windows
+        )
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """Timeout/retransmission policy of the reliable paging protocol.
+
+    A demand request whose reply is lost is retransmitted after
+    ``timeout_s * backoff**attempt`` seconds (plus deterministic jitter up
+    to ``jitter_frac`` of that), at most ``max_attempts`` times before the
+    executor gives up with a :class:`repro.errors.MigrationError`.
+    """
+
+    #: Base retransmission timeout (seconds) for the first attempt.
+    timeout_s: float = 0.05
+    #: Exponential backoff multiplier per retransmission.
+    backoff: float = 2.0
+    #: Maximum number of retransmissions before the run fails.
+    max_attempts: int = 6
+    #: Jitter fraction added on top of each timeout (decorrelates retries).
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive: {self.timeout_s}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1: {self.backoff}")
+        if self.max_attempts < 0:
+            raise ConfigurationError("max_attempts must be non-negative")
+        if not (0.0 <= self.jitter_frac < 1.0):
+            raise ConfigurationError(f"jitter_frac must be in [0, 1): {self.jitter_frac}")
+
+    def timeout_for(self, attempt: int, u: float = 0.0) -> float:
+        """The timeout armed for retransmission ``attempt`` (0-based).
+
+        ``u`` is a uniform [0, 1) draw from the experiment's retry stream;
+        passing the same ``u`` always yields the same timeout.
+        """
+        return self.timeout_s * self.backoff**attempt * (1.0 + self.jitter_frac * u)
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level bundle passed to :class:`repro.cluster.runner.MigrationRun`."""
 
@@ -161,6 +272,8 @@ class SimulationConfig:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     ampom: AMPoMConfig = field(default_factory=AMPoMConfig)
     infod: InfoDConfig = field(default_factory=InfoDConfig)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    retry: RetrySpec = field(default_factory=RetrySpec)
     seed: int = 0
 
     def with_network(self, network: NetworkSpec) -> "SimulationConfig":

@@ -28,3 +28,9 @@ class MigrationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for inconsistent user-supplied configuration."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid use of the fault-injection subsystem (e.g.
+    wrapping a link that already carried traffic, or injecting faults
+    into a scheme whose page service cannot retransmit)."""

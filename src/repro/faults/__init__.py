@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the migration/paging stack.
+
+The subsystem has three parts:
+
+* :class:`FaultPlan` — the seeded schedule of drops, duplicates, delays,
+  link flaps, and deputy crash windows (same seed => same schedule);
+* :class:`LossyDirection` / :func:`install_lossy_link` — a link wrapper
+  that consults the plan on every message;
+* :class:`FaultInjectionLog` — a columnar record of every injected fault
+  and every protocol recovery action (timeouts, retransmits, write-offs).
+
+Configured through :class:`repro.config.FaultSpec` (what goes wrong) and
+:class:`repro.config.RetrySpec` (how the protocol recovers); see
+``docs/FAULTS.md`` for the protocol state machine.
+"""
+
+from .log import FaultEventKind, FaultInjectionEvent, FaultInjectionLog
+from .lossy import LossyDirection, install_lossy_link
+from .plan import CLEAN, FaultDecision, FaultPlan
+
+__all__ = [
+    "CLEAN",
+    "FaultDecision",
+    "FaultEventKind",
+    "FaultInjectionEvent",
+    "FaultInjectionLog",
+    "FaultPlan",
+    "LossyDirection",
+    "install_lossy_link",
+]

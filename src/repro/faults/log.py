@@ -1,0 +1,102 @@
+"""Columnar log of fault-injection and recovery events.
+
+Mirrors :class:`repro.metrics.eventlog.FaultLog` (per-page-fault log) but
+records *protocol* events: injected drops/duplicates/delays, link flaps,
+retransmissions, timeouts, deputy crash detections, and prefetch
+write-offs.  Benchmarks and tests use it to assert deterministic event
+schedules and to report goodput under faults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultEventKind(enum.Enum):
+    """What happened to a message or to the protocol state machine."""
+
+    #: A message was lost downstream (random loss; wire time still paid).
+    DROP = "drop"
+    #: A message vanished because the link was down (scheduled flap).
+    FLAP_DROP = "flap_drop"
+    #: A message was duplicated on the wire.
+    DUPLICATE = "duplicate"
+    #: A message was delivered late by the configured extra delay.
+    DELAY = "delay"
+    #: A demand request's retransmission timer expired.
+    TIMEOUT = "timeout"
+    #: The migrant retransmitted a request.
+    RETRANSMIT = "retransmit"
+    #: The deputy ignored a request because it was crashed.
+    CRASH_IGNORE = "crash_ignore"
+    #: The migrant concluded the deputy is down and degraded.
+    CRASH_DETECT = "crash_detect"
+    #: Outstanding lost prefetches were returned to the REMOTE state.
+    WRITEOFF = "writeoff"
+    #: The migrant saw a successful reply again and left degraded mode.
+    RECOVER = "recover"
+    #: The deputy re-sent pages it had already released (replay cache).
+    REPLAY = "replay"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjectionEvent:
+    """One recorded fault-injection or protocol event."""
+
+    time: float
+    kind: FaultEventKind
+    #: Channel name or actor the event happened on ("" if not applicable).
+    channel: str
+    #: Free-form detail (page number, attempt index, window bounds...).
+    detail: str
+
+
+class FaultInjectionLog:
+    """Append-only columnar record of one run's injected faults."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._kinds: list[FaultEventKind] = []
+        self._channels: list[str] = []
+        self._details: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(
+        self, time: float, kind: FaultEventKind, channel: str = "", detail: str = ""
+    ) -> None:
+        self._times.append(time)
+        self._kinds.append(kind)
+        self._channels.append(channel)
+        self._details.append(detail)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, i: int) -> FaultInjectionEvent:
+        return FaultInjectionEvent(
+            self._times[i], self._kinds[i], self._channels[i], self._details[i]
+        )
+
+    def events(self, kind: FaultEventKind | None = None):
+        """Iterate events, optionally filtered by kind."""
+        for i in range(len(self)):
+            if kind is None or self._kinds[i] is kind:
+                yield self[i]
+
+    def count(self, kind: FaultEventKind) -> int:
+        return sum(1 for k in self._kinds if k is kind)
+
+    def schedule(self) -> list[tuple[float, str, str, str]]:
+        """The full event schedule as plain tuples (for equality asserts)."""
+        return [
+            (self._times[i], self._kinds[i].value, self._channels[i], self._details[i])
+            for i in range(len(self))
+        ]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind (only kinds that occurred)."""
+        out: dict[str, int] = {}
+        for k in self._kinds:
+            out[k.value] = out.get(k.value, 0) + 1
+        return out

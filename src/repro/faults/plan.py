@@ -1,0 +1,121 @@
+"""The seeded, deterministic fault schedule of one experiment.
+
+A :class:`FaultPlan` owns every fault decision of a run:
+
+* per-message random draws (drop / duplicate / delay), taken from an
+  independent :func:`repro.sim.rng.child_rng` stream *per channel* so that
+  adding traffic on one channel never perturbs another's schedule;
+* the scheduled link-down windows and deputy crash windows of the
+  :class:`repro.config.FaultSpec`.
+
+Random injection is gated on :attr:`active_from` — the runner arms it at
+the instant the migrant resumes, so freeze-time transfers (bulk TCP in the
+modelled systems) are never perturbed.  Scheduled windows are absolute
+simulated times supplied by the experimenter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import FaultSpec
+from ..errors import FaultInjectionError
+from ..sim.rng import child_rng
+from .log import FaultInjectionLog
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDecision:
+    """The fate drawn for one message."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay: float = 0.0
+
+
+#: The fate of a message nothing happens to.
+CLEAN = FaultDecision()
+
+
+def _window_contains(windows: tuple[tuple[float, float], ...], t: float) -> bool:
+    """True if ``t`` falls inside any half-open window ``[start, end)``."""
+    if not windows:
+        return False
+    i = bisect_right(windows, (t, float("inf"))) - 1
+    return i >= 0 and windows[i][0] <= t < windows[i][1]
+
+
+class FaultPlan:
+    """Deterministic fault decisions for one seeded experiment."""
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        seed: int,
+        log: FaultInjectionLog | None = None,
+        active_from: float = 0.0,
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.log = log
+        #: Simulated time before which random injection is suppressed.
+        self.active_from = active_from
+        self._rngs: dict[str, np.random.Generator] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True if this plan can ever perturb a message."""
+        return self.spec.active
+
+    def activate(self, time: float) -> None:
+        """Begin random injection at ``time`` (the migrant's resume)."""
+        self.active_from = time
+
+    # ------------------------------------------------------------------
+    def _rng_for(self, channel: str) -> np.random.Generator:
+        try:
+            return self._rngs[channel]
+        except KeyError:
+            rng = child_rng(self.seed, f"faults:{channel}")
+            self._rngs[channel] = rng
+            return rng
+
+    def draw(self, channel: str, now: float) -> FaultDecision:
+        """Draw the fate of one message submitted on ``channel`` at ``now``.
+
+        Three uniforms are always consumed per message, so the stream
+        position — and hence the schedule — depends only on the message
+        count of the channel, not on which fault kinds are enabled.
+        """
+        if now < self.active_from:
+            return CLEAN
+        spec = self.spec
+        u = self._rng_for(channel).random(3)
+        return FaultDecision(
+            drop=bool(u[0] < spec.loss_rate),
+            duplicate=bool(u[1] < spec.duplicate_rate),
+            extra_delay=spec.delay_s if u[2] < spec.delay_rate else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def link_down(self, t: float) -> bool:
+        """True if the link is flapped down at simulated time ``t``."""
+        return t >= self.active_from and _window_contains(self.spec.link_down_windows, t)
+
+    def deputy_down(self, t: float) -> bool:
+        """True if the deputy is crashed at simulated time ``t``."""
+        return _window_contains(self.spec.deputy_crash_windows, t)
+
+    def deputy_restart_time(self, t: float) -> float:
+        """End of the crash window containing ``t``.
+
+        Raises :class:`FaultInjectionError` if the deputy is up at ``t``.
+        """
+        for start, end in self.spec.deputy_crash_windows:
+            if start <= t < end:
+                return end
+        raise FaultInjectionError(f"deputy is not crashed at t={t}")

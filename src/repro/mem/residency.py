@@ -86,20 +86,62 @@ class ResidencyTracker:
     # transitions
     # ------------------------------------------------------------------
     def start_fetch(self, vpn: int, arrival: float) -> None:
-        """REMOTE -> IN_FLIGHT with a known arrival time."""
+        """REMOTE -> IN_FLIGHT with a known arrival time.
+
+        Under fault injection the arrival may be ``inf`` — the request or
+        reply was lost and the page will never arrive on its own; a
+        retransmission later improves the arrival via
+        :meth:`update_arrival` or the page is returned to REMOTE via
+        :meth:`write_off_lost`.
+        """
         if vpn not in self._remote:
             raise MemoryStateError(f"page {vpn} is not remote; cannot fetch it")
         self._remote.remove(vpn)
         self._in_flight[vpn] = arrival
         heapq.heappush(self._arrival_heap, (arrival, vpn))
 
+    def update_arrival(self, vpn: int, arrival: float) -> None:
+        """Improve an in-flight page's arrival time (a retransmitted reply
+        beat the original).  A later arrival than the recorded one is
+        ignored — the earlier copy wins."""
+        try:
+            current = self._in_flight[vpn]
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not in flight")
+        if arrival < current:
+            self._in_flight[vpn] = arrival
+            heapq.heappush(self._arrival_heap, (arrival, vpn))
+
+    def write_off_lost(self, keep: Iterable[int] = ()) -> list[int]:
+        """IN_FLIGHT -> REMOTE for every page that will never arrive
+        (infinite arrival time), except those in ``keep``.  Used when the
+        migrant concludes the deputy crashed: outstanding prefetches are
+        written off so demand paging can re-request them later.  Returns
+        the written-off pages in ascending order."""
+        keep = set(keep)
+        lost = sorted(
+            vpn
+            for vpn, arrival in self._in_flight.items()
+            if arrival == float("inf") and vpn not in keep
+        )
+        for vpn in lost:
+            del self._in_flight[vpn]
+            self._remote.add(vpn)
+        return lost
+
     def absorb_arrivals(self, now: float) -> int:
         """IN_FLIGHT -> BUFFERED for every page whose arrival time has
-        passed.  Returns how many pages arrived."""
+        passed.  Returns how many pages arrived.
+
+        Heap entries superseded by :meth:`update_arrival` or
+        :meth:`write_off_lost` are skipped lazily.
+        """
         n = 0
         heap = self._arrival_heap
         while heap and heap[0][0] <= now:
-            _, vpn = heapq.heappop(heap)
+            arrival, vpn = heapq.heappop(heap)
+            if self._in_flight.get(vpn) != arrival:
+                continue  # stale entry: rescheduled or written off
             del self._in_flight[vpn]
             self._buffered.add(vpn)
             n += 1

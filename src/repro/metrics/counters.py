@@ -45,6 +45,28 @@ class Counters:
     #: Pages evicted by the optional LRU capacity model.
     pages_evicted: int = 0
 
+    # -- reliability / fault-injection counters (zero on a clean run) ----
+    #: Requests re-sent after a retransmission timeout.
+    retransmits: int = 0
+    #: Retransmission timers that expired without the awaited reply.
+    request_timeouts: int = 0
+    #: Outstanding prefetched pages written off after a deputy crash.
+    prefetch_writeoffs: int = 0
+    #: Times the migrant concluded the deputy was down and degraded to
+    #: demand-only paging.
+    deputy_crash_detections: int = 0
+    #: Pages deduplicated by the deputy (listed in both demand and
+    #: prefetch of one message; demand wins).
+    duplicate_pages_deduped: int = 0
+    #: Pages the deputy re-sent from its replay cache (already released).
+    pages_replayed: int = 0
+    #: Messages lost on the home<->dest link (random loss + link flaps).
+    messages_dropped: int = 0
+    #: Messages duplicated on the wire by fault injection.
+    messages_duplicated: int = 0
+    #: Messages delivered late by fault injection.
+    messages_delayed: int = 0
+
     # ------------------------------------------------------------------
     @property
     def page_fault_requests(self) -> int:

@@ -41,3 +41,32 @@ def percent_change(value: float, baseline: float) -> float:
     if baseline == 0:
         raise ValueError("baseline must be non-zero")
     return (value - baseline) / baseline * 100.0
+
+
+#: Column headers matching :func:`fault_summary_row`.
+FAULT_SUMMARY_HEADERS = [
+    "run time s",
+    "retransmits",
+    "timeouts",
+    "drops",
+    "wasted pages",
+    "crash detects",
+]
+
+
+def fault_summary_row(result) -> list[object]:
+    """One reliability row for an :class:`ExecutionResult`-like object.
+
+    "wasted pages" are prefetched pages written off after a deputy crash
+    — network work whose benefit was lost.  Pair with
+    :data:`FAULT_SUMMARY_HEADERS` in :func:`format_table`.
+    """
+    c = result.counters
+    return [
+        result.run_time,
+        c.retransmits,
+        c.request_timeouts,
+        c.messages_dropped,
+        c.prefetch_writeoffs,
+        c.deputy_crash_detections,
+    ]

@@ -13,8 +13,9 @@ origin's deputy (openMosix/AMPoM/NoPrefetch) or an FFA file server.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from ..config import AMPoMConfig, HardwareSpec
 from ..core.policy import PrefetchPolicy
@@ -28,6 +29,9 @@ from ..node.deputy import Deputy
 from ..sim import Simulator
 from ..workloads.base import Syscall
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
+
 #: Wire bytes per page number in a paging-request message.
 PAGE_ID_BYTES = 8
 #: Fixed header of a paging-request message.
@@ -36,7 +40,13 @@ REQUEST_HEADER_BYTES = 16
 
 @runtime_checkable
 class PageService(Protocol):
-    """Answers remote paging requests and forwarded system calls."""
+    """Answers remote paging requests and forwarded system calls.
+
+    Under fault injection, an arrival time of ``math.inf`` means "this
+    page/reply will never arrive" — the request or its reply was lost.
+    Services that additionally expose ``next_seq()`` and accept a ``seq``
+    keyword support the reliable retransmission protocol.
+    """
 
     def request(
         self, demand: Sequence[int], prefetch: Sequence[int], now: float
@@ -50,26 +60,49 @@ class PageService(Protocol):
 
 
 class DeputyPageService:
-    """Pages served by the origin node's deputy (sections 2.1-2.2)."""
+    """Pages served by the origin node's deputy (sections 2.1-2.2).
+
+    Every request may carry a sequence ID (``seq``).  Fresh requests are
+    assigned one implicitly; the executor passes an explicit ``seq`` when
+    retransmitting so the deputy can recognise the duplicate and replay
+    pages it has already released.
+    """
 
     def __init__(self, request_channel: Direction, deputy: Deputy) -> None:
         self.request_channel = request_channel
         self.deputy = deputy
+        self._next_seq = 0
+
+    def next_seq(self) -> int:
+        """Allocate a fresh request sequence ID."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
 
     def request(
-        self, demand: Sequence[int], prefetch: Sequence[int], now: float
+        self,
+        demand: Sequence[int],
+        prefetch: Sequence[int],
+        now: float,
+        seq: int | None = None,
     ) -> dict[int, float]:
         n_pages = len(demand) + len(prefetch)
         if n_pages == 0:
             raise MigrationError("paging request without any page")
         payload = REQUEST_HEADER_BYTES + PAGE_ID_BYTES * n_pages
         request_arrival = self.request_channel.transfer(payload, now)
-        return self.deputy.serve_pages(demand, prefetch, request_arrival)
+        if math.isinf(request_arrival):
+            # The request itself was lost; the deputy never sees it, so
+            # from the migrant's view every page is pending forever.
+            return {vpn: math.inf for vpn in [*demand, *prefetch]}
+        return self.deputy.serve_pages(demand, prefetch, request_arrival, seq=seq)
 
-    def forward_syscall(self, syscall: Syscall, now: float) -> float:
+    def forward_syscall(
+        self, syscall: Syscall, now: float, seq: int | None = None
+    ) -> float:
         request_arrival = self.request_channel.transfer(REQUEST_HEADER_BYTES + 64, now)
         return self.deputy.serve_syscall(
-            request_arrival, syscall.service_time, syscall.reply_bytes
+            request_arrival, syscall.service_time, syscall.reply_bytes, seq=seq
         )
 
 
@@ -92,6 +125,8 @@ class MigrationContext:
     premigration_pages: set[int] | None = None
     #: Name of the file-server node (FFA only).
     file_server: str | None = None
+    #: Fault schedule of this run (None = perfect network/nodes).
+    fault_plan: "FaultPlan | None" = None
 
     def existing_pages(self) -> set[int]:
         if self.premigration_pages is not None:
@@ -148,5 +183,5 @@ class MigrationStrategy(abc.ABC):
     def _make_deputy_service(ctx: MigrationContext, hpt: HomePageTable) -> DeputyPageService:
         reply = ctx.network.direction(ctx.src, ctx.dst)
         request = ctx.network.direction(ctx.dst, ctx.src)
-        deputy = Deputy(hpt, reply, ctx.hardware)
+        deputy = Deputy(hpt, reply, ctx.hardware, fault_plan=ctx.fault_plan)
         return DeputyPageService(request, deputy)

@@ -20,12 +20,14 @@ syscall``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import HardwareSpec
+from ..config import HardwareSpec, RetrySpec
 from ..errors import MigrationError
+from ..faults.log import FaultEventKind, FaultInjectionLog
 from ..mem.fault import FaultKind
 from ..mem.lru import LruPageCache
 from ..metrics.counters import Counters
@@ -61,7 +63,16 @@ class ExecutionResult:
         return self.freeze_time + self.run_time
 
     def to_dict(self) -> dict:
-        """JSON-serializable summary (used by the CLI's ``--json``)."""
+        """JSON-serializable summary (used by the CLI's ``--json``).
+
+        ``counters`` includes the reliability fields introduced by the
+        fault-injection subsystem — ``retransmits``, ``request_timeouts``,
+        ``prefetch_writeoffs`` (pages wasted to a deputy crash),
+        ``deputy_crash_detections``, ``duplicate_pages_deduped``,
+        ``pages_replayed``, and the wire-level ``messages_dropped`` /
+        ``messages_duplicated`` / ``messages_delayed``.  All of them are
+        zero on a fault-free run (see docs/FAULTS.md).
+        """
         return {
             "strategy": self.strategy,
             "workload": self.workload,
@@ -90,6 +101,9 @@ class MigrantExecutor:
         track_touched: bool = True,
         capacity_pages: int | None = None,
         fault_log: FaultLog | None = None,
+        retry: RetrySpec | None = None,
+        retry_rng: np.random.Generator | None = None,
+        injection_log: FaultInjectionLog | None = None,
     ) -> None:
         self.sim = sim
         self.workload = workload
@@ -99,6 +113,23 @@ class MigrantExecutor:
         self.infod = infod
         self.track_touched = track_touched
         self.fault_log = fault_log
+        self.injection_log = injection_log
+
+        # Reliable-protocol state.  ``retry`` arms a retransmission timer
+        # on every demand request whose reply may be lost; it is only set
+        # when a fault plan is active, so the fault-free path is untouched.
+        self.retry = retry
+        self._retry_rng = retry_rng
+        self._reliable = retry is not None
+        if self._reliable and not hasattr(outcome.page_service, "next_seq"):
+            raise MigrationError(
+                "fault injection requires a page service that supports "
+                "sequence IDs (a deputy-backed scheme, not FFA)"
+            )
+        #: True while the migrant believes the deputy is down: prefetching
+        #: is suppressed (demand-only paging) until a reply gets through.
+        self._degraded = False
+        self._await_stall = 0.0
 
         self.budget = TimeBudget()
         self.budget.freeze = outcome.freeze_time
@@ -206,6 +237,7 @@ class MigrantExecutor:
         finally:
             self._release_cpu()
         run_time = sim.now - start_time
+        self._collect_fault_stats()
         self.result = ExecutionResult(
             strategy=self.outcome.strategy,
             workload=self.workload.name,
@@ -316,6 +348,11 @@ class MigrantExecutor:
             prefetch = policy.on_fault(
                 vpn, sim.now, cpu_sample, res, self._conditions()
             )
+            if self._degraded:
+                # Deputy believed down: demand-only paging until a reply
+                # gets through again (the zone quota the policy spent on
+                # these pages is returned — they stay REMOTE).
+                prefetch = []
             if policy.analysis_time > 0.0:
                 wall = policy.analysis_time * self.node.cpu.stretch()
                 yield Timeout(wall)
@@ -335,21 +372,31 @@ class MigrantExecutor:
 
         # Step 5: send the paging request.
         service = self.outcome.page_service
+        demand_seq: int | None = None
         if kind is FaultKind.MAJOR:
             self.counters.demand_requests += 1
             self.counters.pages_demand_fetched += 1
             self.counters.pages_prefetched += len(prefetch)
-            arrivals = service.request([vpn], prefetch, sim.now)
-            for page, t in arrivals.items():
-                res.start_fetch(page, t)
-                self._fetched.add(page)
+            if self._reliable:
+                demand_seq = service.next_seq()
+                arrivals = service.request([vpn], prefetch, sim.now, seq=demand_seq)
+                self._register_fetches(arrivals)
+            else:
+                arrivals = service.request([vpn], prefetch, sim.now)
+                for page, t in arrivals.items():
+                    res.start_fetch(page, t)
+                    self._fetched.add(page)
         elif prefetch:
             self.counters.prefetch_requests += 1
             self.counters.pages_prefetched += len(prefetch)
-            arrivals = service.request([], prefetch, sim.now)
-            for page, t in arrivals.items():
-                res.start_fetch(page, t)
-                self._fetched.add(page)
+            if self._reliable:
+                arrivals = service.request([], prefetch, sim.now, seq=service.next_seq())
+                self._register_fetches(arrivals)
+            else:
+                arrivals = service.request([], prefetch, sim.now)
+                for page, t in arrivals.items():
+                    res.start_fetch(page, t)
+                    self._fetched.add(page)
 
         # Step 6: resolve the faulting page.
         stall = 0.0
@@ -359,25 +406,188 @@ class MigrantExecutor:
             if self._lru is not None:
                 self._insert_resident(vpn)
         elif kind in (FaultKind.MAJOR, FaultKind.IN_FLIGHT_WAIT):
-            arrival = res.arrival_time(vpn)
-            stall = max(arrival - sim.now, 0.0)
-            if stall > 0.0:
-                self._release_cpu()
-                yield Timeout(stall)
-                self._acquire_cpu()
-                self.budget.add("stall", stall)
-            res.absorb_arrivals(sim.now)
-            yield from self._copy_buffered(res)
+            if self._reliable:
+                yield from self._await_page(vpn, demand_seq)
+                stall = self._await_stall
+            else:
+                arrival = res.arrival_time(vpn)
+                stall = max(arrival - sim.now, 0.0)
+                if stall > 0.0:
+                    self._release_cpu()
+                    yield Timeout(stall)
+                    self._acquire_cpu()
+                    self.budget.add("stall", stall)
+                res.absorb_arrivals(sim.now)
+                yield from self._copy_buffered(res)
         if self.fault_log is not None:
             self.fault_log.record(now, vpn, kind, len(prefetch), stall)
+
+    # ------------------------------------------------------------------
+    # the reliable remote-paging protocol (fault-injection runs only)
+    # ------------------------------------------------------------------
+    def _log_event(self, kind: FaultEventKind, detail: str = "") -> None:
+        if self.injection_log is not None:
+            self.injection_log.record(self.sim.now, kind, channel="migrant", detail=detail)
+
+    def _register_fetches(self, arrivals: dict[int, float]) -> None:
+        """Fold a (possibly retransmitted/replayed) response's arrival
+        times into the residency tracker.  An ``inf`` arrival means the
+        request or reply was lost — the page is pending with no arrival in
+        sight until a retransmission improves it."""
+        res = self.outcome.residency
+        for page, t in arrivals.items():
+            if page in res.mapped or page in res.buffered:
+                continue  # a replayed copy of a page we already have
+            if page in res.in_flight:
+                res.update_arrival(page, t)
+            elif res.is_remote(page):
+                res.start_fetch(page, t)
+                self._fetched.add(page)
+
+    def _await_page(self, vpn: int, seq: int | None):
+        """Block until ``vpn`` is mapped, retransmitting on timeout.
+
+        Arms ``RetrySpec.timeout_for(attempt)`` whenever the page has no
+        finite arrival time (its request or reply was lost); each expiry
+        retransmits a demand-only request with the same sequence ID so the
+        deputy can recognise the duplicate.  Two consecutive expiries are
+        taken as a deputy crash: outstanding lost prefetches are written
+        off and the migrant degrades to demand-only paging until a reply
+        arrives again.  Exhausting ``max_attempts`` raises
+        :class:`MigrationError` instead of hanging the simulation.
+        """
+        sim = self.sim
+        res = self.outcome.residency
+        service = self.outcome.page_service
+        retry = self.retry
+        assert retry is not None
+        self._await_stall = 0.0
+        attempt = 0
+        while True:
+            res.absorb_arrivals(sim.now)
+            yield from self._copy_buffered(res)
+            if vpn in res.mapped:
+                break
+            arrival = res.arrival_time(vpn) if vpn in res.in_flight else math.inf
+            timed = math.isinf(arrival)
+            if timed:
+                u = float(self._retry_rng.random()) if self._retry_rng is not None else 0.0
+                wait = retry.timeout_for(attempt, u)
+            else:
+                wait = max(arrival - sim.now, 0.0)
+            if wait > 0.0:
+                self._release_cpu()
+                yield Timeout(wait)
+                self._acquire_cpu()
+                self.budget.add("stall", wait)
+                self._await_stall += wait
+            res.absorb_arrivals(sim.now)
+            yield from self._copy_buffered(res)
+            if vpn in res.mapped:
+                break
+            if not timed:
+                continue  # recompute: a retransmitted reply may be closer
+            self.counters.request_timeouts += 1
+            self._log_event(FaultEventKind.TIMEOUT, detail=f"vpn={vpn} attempt={attempt}")
+            attempt += 1
+            if attempt > retry.max_attempts:
+                raise MigrationError(
+                    f"demand page {vpn} never arrived after {attempt} attempts "
+                    f"(final timeout {wait:.4g}s, total wait {self._await_stall:.4g}s): "
+                    "the link is too lossy or the deputy outage outlasts the retry "
+                    "budget; raise RetrySpec.max_attempts/timeout_s or shorten the fault"
+                )
+            if attempt >= 2 and not self._degraded:
+                self._enter_degraded(vpn)
+            if seq is None:
+                seq = service.next_seq()
+            self.counters.retransmits += 1
+            self._log_event(
+                FaultEventKind.RETRANSMIT, detail=f"vpn={vpn} seq={seq} attempt={attempt}"
+            )
+            self._register_fetches(service.request([vpn], [], sim.now, seq=seq))
+        if self._degraded:
+            self._degraded = False
+            self._log_event(FaultEventKind.RECOVER, detail=f"vpn={vpn}")
+
+    def _enter_degraded(self, keep_vpn: int) -> None:
+        """Assume the deputy crashed: write off prefetches that will never
+        arrive (they return to REMOTE, re-requestable on demand) and stop
+        prefetching until a reply gets through again."""
+        self._degraded = True
+        self.counters.deputy_crash_detections += 1
+        self._log_event(FaultEventKind.CRASH_DETECT, detail=f"vpn={keep_vpn}")
+        lost = self.outcome.residency.write_off_lost(keep=(keep_vpn,))
+        if lost:
+            self.counters.prefetch_writeoffs += len(lost)
+            for page in lost:
+                self._fetched.discard(page)
+            self._log_event(FaultEventKind.WRITEOFF, detail=f"pages={len(lost)}")
+
+    def _collect_fault_stats(self) -> None:
+        """Fold deputy- and link-side fault statistics into the counters
+        so results need no private attributes to report them."""
+        c = self.counters
+        service = self.outcome.page_service
+        deputy = getattr(service, "deputy", None)
+        if deputy is not None:
+            c.duplicate_pages_deduped += deputy.duplicate_page_requests
+            c.pages_replayed += deputy.replayed_pages
+        channels = set()
+        request = getattr(service, "request_channel", None)
+        if request is not None:
+            channels.add(request)
+        if deputy is not None:
+            channels.add(deputy.reply_channel)
+        for channel in channels:
+            c.messages_dropped += getattr(channel, "dropped_messages", 0)
+            c.messages_dropped += getattr(channel, "flap_dropped_messages", 0)
+            c.messages_duplicated += getattr(channel, "duplicated_messages", 0)
+            c.messages_delayed += getattr(channel, "delayed_messages", 0)
 
     # ------------------------------------------------------------------
     def _syscall(self, syscall: Syscall):
         service = self.outcome.page_service
         self.counters.syscalls_forwarded += 1
-        reply_at = service.forward_syscall(syscall, self.sim.now)
-        wait = max(reply_at - self.sim.now, 0.0)
-        self._release_cpu()
-        yield Timeout(wait)
-        self._acquire_cpu()
-        self.budget.add("syscall", wait)
+        if not self._reliable:
+            reply_at = service.forward_syscall(syscall, self.sim.now)
+            wait = max(reply_at - self.sim.now, 0.0)
+            self._release_cpu()
+            yield Timeout(wait)
+            self._acquire_cpu()
+            self.budget.add("syscall", wait)
+            return
+        # Reliable forwarding: a lost request or reply (infinite arrival)
+        # is retransmitted with the same seq, so the deputy re-sends the
+        # reply without re-executing the call (exactly-once semantics).
+        retry = self.retry
+        assert retry is not None
+        seq = service.next_seq()
+        attempt = 0
+        reply_at = service.forward_syscall(syscall, self.sim.now, seq=seq)
+        while True:
+            if math.isinf(reply_at):
+                u = float(self._retry_rng.random()) if self._retry_rng is not None else 0.0
+                wait = retry.timeout_for(attempt, u)
+            else:
+                wait = max(reply_at - self.sim.now, 0.0)
+            if wait > 0.0:
+                self._release_cpu()
+                yield Timeout(wait)
+                self._acquire_cpu()
+                self.budget.add("syscall", wait)
+            if not math.isinf(reply_at):
+                break
+            self.counters.request_timeouts += 1
+            self._log_event(FaultEventKind.TIMEOUT, detail=f"syscall seq={seq}")
+            attempt += 1
+            if attempt > retry.max_attempts:
+                raise MigrationError(
+                    f"forwarded syscall reply never arrived after {attempt} attempts: "
+                    "the link is too lossy or the deputy outage outlasts the retry budget"
+                )
+            self.counters.retransmits += 1
+            self._log_event(
+                FaultEventKind.RETRANSMIT, detail=f"syscall seq={seq} attempt={attempt}"
+            )
+            reply_at = service.forward_syscall(syscall, self.sim.now, seq=seq)

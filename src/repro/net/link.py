@@ -20,6 +20,9 @@ from bisect import bisect_right
 from ..config import NetworkSpec
 from ..errors import NetworkError
 
+#: Transfer-log length at which old entries are considered for compaction.
+COMPACT_THRESHOLD = 8192
+
 
 class Direction:
     """One direction of a duplex link."""
@@ -30,13 +33,18 @@ class Direction:
         self.latency_s = spec.latency_s
         self.per_message_overhead_bytes = spec.per_message_overhead_bytes
         self.per_page_overhead_bytes = spec.per_page_overhead_bytes
+        self.counter_horizon_s = spec.counter_horizon_s
         self.busy_until = 0.0
         self.total_bytes = 0
         self.total_messages = 0
-        # Parallel arrays logging each transfer for counter reads.
+        # Parallel arrays logging each transfer for counter reads.  The
+        # log is periodically compacted: entries that finished serializing
+        # more than ``counter_horizon_s`` before the latest transfer are
+        # folded into ``_compacted_bytes`` so the log stays bounded.
         self._starts: list[float] = []
         self._ends: list[float] = []
         self._cum_bytes: list[int] = []
+        self._compacted_bytes = 0
 
     # ------------------------------------------------------------------
     def reconfigure(self, bandwidth_bps: float, latency_s: float) -> None:
@@ -64,8 +72,10 @@ class Direction:
         self.total_messages += 1
         self._starts.append(start)
         self._ends.append(end)
-        prev = self._cum_bytes[-1] if self._cum_bytes else 0
+        prev = self._cum_bytes[-1] if self._cum_bytes else self._compacted_bytes
         self._cum_bytes.append(prev + size)
+        if len(self._ends) >= COMPACT_THRESHOLD:
+            self.compact(now - self.counter_horizon_s)
         return end + self.latency_s
 
     def transfer_page(self, page_size: int, now: float) -> float:
@@ -79,14 +89,41 @@ class Direction:
 
     def bytes_sent_by(self, t: float) -> float:
         """Cumulative bytes that have finished (or partially finished)
-        serializing by time ``t`` — the simulated interface TX counter."""
+        serializing by time ``t`` — the simulated interface TX counter.
+
+        Exact for any ``t`` inside the retained log (the last
+        ``counter_horizon_s`` of traffic, which covers every live monitor
+        query); for older, compacted times it returns the compaction
+        baseline, which keeps the counter monotone non-decreasing.
+        """
         i = bisect_right(self._ends, t)
-        done = float(self._cum_bytes[i - 1]) if i > 0 else 0.0
+        done = float(self._cum_bytes[i - 1]) if i > 0 else float(self._compacted_bytes)
         if i < len(self._starts) and self._starts[i] < t:
             start, end = self._starts[i], self._ends[i]
-            size = self._cum_bytes[i] - (self._cum_bytes[i - 1] if i > 0 else 0)
+            prev = self._cum_bytes[i - 1] if i > 0 else self._compacted_bytes
+            size = self._cum_bytes[i] - prev
             done += size * (t - start) / (end - start)
         return done
+
+    def compact(self, before: float) -> int:
+        """Drop log entries that finished serializing at or before
+        ``before``; their bytes fold into the compaction baseline so
+        :meth:`bytes_sent_by` stays exact for every later time.  Returns
+        how many entries were dropped.
+        """
+        k = bisect_right(self._ends, before)
+        if k == 0:
+            return 0
+        self._compacted_bytes = self._cum_bytes[k - 1]
+        del self._starts[:k]
+        del self._ends[:k]
+        del self._cum_bytes[:k]
+        return k
+
+    @property
+    def log_entries(self) -> int:
+        """Number of per-transfer log entries currently retained."""
+        return len(self._ends)
 
 
 class Link:
@@ -109,6 +146,12 @@ class Link:
             return self._directions[(src, dst)]
         except KeyError:
             raise NetworkError(f"link {self.a!r}<->{self.b!r} does not connect {src!r}->{dst!r}")
+
+    def replace_direction(self, src: str, dst: str, direction: Direction) -> None:
+        """Swap in a replacement channel (e.g. a fault-injecting wrapper)."""
+        if (src, dst) not in self._directions:
+            raise NetworkError(f"link {self.a!r}<->{self.b!r} does not connect {src!r}->{dst!r}")
+        self._directions[(src, dst)] = direction
 
     @property
     def endpoints(self) -> tuple[str, str]:

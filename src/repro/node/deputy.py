@@ -10,16 +10,33 @@ time ``a`` starts service at ``max(a, busy_until)``, pays a per-request
 cost plus a per-page lookup cost, and streams the pages onto the
 origin -> destination channel in order (demand page first), which is what
 produces the pipelining effect of section 5.4.
+
+Reliability (the fault-injection PR): the deputy is *idempotent*.  A page
+appearing in both the demand and prefetch list of one message is served
+once (demand wins) and counted.  Under a :class:`repro.faults.FaultPlan`
+the deputy keeps a bounded replay cache of recently released pages so a
+retransmitted request re-sends pages whose earlier reply was lost instead
+of raising "origin no longer stores it", and it silently ignores requests
+arriving inside a scheduled crash window (its state survives the
+restart).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import HardwareSpec
 from ..errors import MemoryStateError
 from ..mem.page_table import HomePageTable
 from ..net.link import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
+
+#: How many request sequence IDs the deputy remembers for dedup counting.
+SEQ_CACHE_SIZE = 1024
 
 
 class Deputy:
@@ -30,14 +47,64 @@ class Deputy:
         hpt: HomePageTable,
         reply_channel: Direction,
         hardware: HardwareSpec,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.hpt = hpt
         self.reply_channel = reply_channel
         self.hardware = hardware
+        self.fault_plan = fault_plan
         self.busy_until = 0.0
         self.requests_served = 0
         self.pages_served = 0
         self.syscalls_served = 0
+        #: Pages deduplicated out of one message (demand beat prefetch).
+        self.duplicate_page_requests = 0
+        #: Requests recognised as retransmissions of an already-served seq.
+        self.duplicate_requests = 0
+        #: Pages re-sent from the replay cache after their release.
+        self.replayed_pages = 0
+        #: Requests ignored because the deputy was crashed on arrival.
+        self.requests_ignored = 0
+        self._seen_seqs: OrderedDict[int, None] = OrderedDict()
+        self._seen_syscall_seqs: OrderedDict[int, None] = OrderedDict()
+        # Recently released pages, re-sendable on retransmission.  Only
+        # maintained under fault injection; bounded by the fault spec.
+        self._replay_pages: OrderedDict[int, None] = OrderedDict()
+        self._replay_capacity = (
+            fault_plan.spec.replay_cache_pages if fault_plan is not None else 0
+        )
+
+    # ------------------------------------------------------------------
+    def _down_at(self, t: float) -> bool:
+        return self.fault_plan is not None and self.fault_plan.deputy_down(t)
+
+    def _log_ignored(self, t: float, detail: str) -> None:
+        self.requests_ignored += 1
+        if self.fault_plan is not None and self.fault_plan.log is not None:
+            from ..faults.log import FaultEventKind
+
+            self.fault_plan.log.record(
+                t, FaultEventKind.CRASH_IGNORE, channel="deputy", detail=detail
+            )
+
+    def _remember_released(self, vpn: int) -> None:
+        if self._replay_capacity <= 0:
+            return
+        self._replay_pages[vpn] = None
+        self._replay_pages.move_to_end(vpn)
+        while len(self._replay_pages) > self._replay_capacity:
+            self._replay_pages.popitem(last=False)
+
+    @staticmethod
+    def _remember_seq(cache: OrderedDict, seq: int) -> bool:
+        """Record ``seq``; returns True if it was already known."""
+        if seq in cache:
+            cache.move_to_end(seq)
+            return True
+        cache[seq] = None
+        while len(cache) > SEQ_CACHE_SIZE:
+            cache.popitem(last=False)
+        return False
 
     # ------------------------------------------------------------------
     def serve_pages(
@@ -45,31 +112,57 @@ class Deputy:
         demand: Sequence[int],
         prefetch: Sequence[int],
         request_arrival: float,
+        seq: int | None = None,
     ) -> dict[int, float]:
         """Process one paging request; return each page's arrival time at
         the migrant.
 
         ``demand`` pages are served first so a blocked process resumes as
-        soon as possible; ``prefetch`` pages follow in request order.
-        Every served page is deleted from the origin (HPT release).
+        soon as possible; ``prefetch`` pages follow in request order.  A
+        page listed in both is served once (demand wins).  Every freshly
+        served page is deleted from the origin (HPT release); a page
+        already released is re-sent from the replay cache when the request
+        carries a sequence ID (a retransmission), and is an error
+        otherwise.
         """
+        ordered: list[int] = []
+        seen: set[int] = set()
+        for vpn in list(demand) + list(prefetch):
+            if vpn in seen:
+                self.duplicate_page_requests += 1
+                continue
+            seen.add(vpn)
+            ordered.append(vpn)
+
+        if math.isinf(request_arrival):
+            # The request was lost in the network: the deputy never saw it.
+            return {vpn: math.inf for vpn in ordered}
+        if self._down_at(request_arrival):
+            self._log_ignored(request_arrival, f"pages={len(ordered)}")
+            return {vpn: math.inf for vpn in ordered}
+
+        if seq is not None and self._remember_seq(self._seen_seqs, seq):
+            self.duplicate_requests += 1
+
         hw = self.hardware
         start = max(request_arrival, self.busy_until)
         clock = start + hw.deputy_request_time
         arrivals: dict[int, float] = {}
-        for vpn in list(demand) + list(prefetch):
-            if vpn in arrivals:
-                raise MemoryStateError(f"page {vpn} requested twice in one message")
-            if vpn not in self.hpt:
+        for vpn in ordered:
+            if vpn in self.hpt:
+                self.hpt.release(vpn)
+                self._remember_released(vpn)
+                self.pages_served += 1
+            elif seq is not None and vpn in self._replay_pages:
+                self.replayed_pages += 1
+            else:
                 raise MemoryStateError(
                     f"page {vpn} requested but the origin no longer stores it"
                 )
             clock += hw.deputy_page_time
-            self.hpt.release(vpn)
             arrivals[vpn] = self.reply_channel.transfer(
                 hw.page_size + hw.remote_paging_overhead_bytes, clock
             )
-            self.pages_served += 1
         self.busy_until = clock
         self.requests_served += 1
         return arrivals
@@ -80,12 +173,28 @@ class Deputy:
         request_arrival: float,
         service_time: float,
         reply_payload_bytes: int = 64,
+        seq: int | None = None,
     ) -> float:
         """Execute a forwarded system call; return the reply's arrival time
-        at the migrant (the home-dependency cost of section 7)."""
+        at the migrant (the home-dependency cost of section 7).
+
+        A retransmitted syscall (known ``seq``) re-sends the reply without
+        re-executing the call, keeping forwarded syscalls exactly-once.
+        """
         if service_time < 0:
             raise MemoryStateError(f"service_time must be non-negative: {service_time}")
+        if math.isinf(request_arrival):
+            return math.inf
+        if self._down_at(request_arrival):
+            self._log_ignored(request_arrival, "syscall")
+            return math.inf
         start = max(request_arrival, self.busy_until)
+        if seq is not None and self._remember_seq(self._seen_syscall_seqs, seq):
+            # Replay: just re-send the cached reply.
+            self.duplicate_requests += 1
+            done = start + self.hardware.deputy_request_time
+            self.busy_until = done
+            return self.reply_channel.transfer(reply_payload_bytes, done)
         done = start + self.hardware.deputy_request_time + service_time
         self.busy_until = done
         self.syscalls_served += 1

@@ -38,10 +38,16 @@ def test_serving_missing_page_fails():
         deputy.serve_pages([99], [], request_arrival=0.0)
 
 
-def test_duplicate_page_in_request_fails():
+def test_duplicate_page_in_request_is_deduped():
+    # A page listed both as demand and prefetch is served once (demand
+    # wins) and the duplicate is counted, not an error.
     deputy, _, _ = make()
-    with pytest.raises(MemoryStateError):
-        deputy.serve_pages([1], [1], request_arrival=0.0)
+    arrivals = deputy.serve_pages([1], [1, 2], request_arrival=0.0)
+    assert set(arrivals) == {1, 2}
+    assert arrivals[1] < arrivals[2]
+    assert deputy.pages_served == 2
+    assert deputy.duplicate_page_requests == 1
+    assert 1 not in deputy.hpt
 
 
 def test_requests_queue_on_deputy_cpu():

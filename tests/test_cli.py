@@ -86,6 +86,58 @@ def test_run_json_output(capsys):
     assert "counters" in payload and "budget" in payload
 
 
+def test_run_with_fault_injection(capsys):
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--loss-rate",
+            "0.01",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "retransmits" in out
+    assert "wasted pages" in out
+
+
+def test_run_fault_json_carries_reliability_counters(capsys):
+    import json
+
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--loss-rate",
+            "0.01",
+            "--retry-timeout-ms",
+            "50",
+            "--max-retries",
+            "8",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    counters = json.loads(capsys.readouterr().out)["counters"]
+    assert counters["messages_dropped"] > 0
+    assert counters["retransmits"] > 0
+    assert counters["request_timeouts"] > 0
+
+
 def test_freeze_command(capsys):
     rc = main(["freeze", "--kernel", "DGEMM", "--mb", "575", "--scheme", "openMosix"])
     out = capsys.readouterr().out

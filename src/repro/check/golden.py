@@ -1,0 +1,241 @@
+"""Golden-trace regression harness (``repro check record`` / ``diff``).
+
+Every scenario in :data:`SCENARIOS` is a fully pinned end-to-end run —
+kernel, size, scheme, scale, seed, and fault schedule — executed with the
+invariant checker and differential oracle enabled.  ``record`` serializes
+each run's event log to a JSONL file (one header line with the scenario
+parameters, one line per fault with its exact time/page/kind/stall, one
+footer line with every counter and the time-budget split); ``diff``
+re-runs the matrix and compares structurally against the stored files, so
+*any* behavioral drift — a reordered fault, a different prefetch depth, a
+nanosecond of extra stall — fails with a precise first-divergence report.
+
+Golden files live in ``tests/golden/`` and are committed; refresh them
+with ``repro check record`` only when a change is *meant* to alter
+behavior, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..config import CheckSpec, FaultSpec, SimulationConfig
+from ..metrics.eventlog import FaultLog
+
+#: Directory (relative to the repo root) where golden traces live.
+DEFAULT_GOLDEN_DIR = Path("tests") / "golden"
+
+#: Format version; bump when the serialization itself changes shape.
+TRACE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One pinned run of the scenario matrix."""
+
+    name: str
+    kernel: str
+    memory_mb: int
+    scheme: str
+    scale: float = 1.0 / 16.0
+    seed: int = 0
+    faults: FaultSpec = field(default_factory=FaultSpec)
+
+    def header(self) -> dict:
+        return {
+            "format": TRACE_FORMAT,
+            "scenario": self.name,
+            "kernel": self.kernel,
+            "memory_mb": self.memory_mb,
+            "scheme": self.scheme,
+            "scale": self.scale,
+            "seed": self.seed,
+            "loss_rate": self.faults.loss_rate,
+            "duplicate_rate": self.faults.duplicate_rate,
+            "delay_rate": self.faults.delay_rate,
+            "deputy_crash_windows": [list(w) for w in self.faults.deputy_crash_windows],
+        }
+
+
+#: The fixed scenario matrix: seed workloads × fault specs.  Small sizes
+#: and 1/16 scale keep a full record/diff sweep within a few seconds.
+SCENARIOS: tuple[GoldenScenario, ...] = (
+    GoldenScenario("dgemm_ampom", "DGEMM", 115, "AMPoM"),
+    GoldenScenario("stream_ampom", "STREAM", 115, "AMPoM"),
+    GoldenScenario("randomaccess_ampom", "RandomAccess", 129, "AMPoM"),
+    GoldenScenario("fft_ampom", "FFT", 129, "AMPoM"),
+    GoldenScenario("dgemm_noprefetch", "DGEMM", 115, "NoPrefetch"),
+    GoldenScenario("dgemm_openmosix", "DGEMM", 115, "openMosix"),
+    GoldenScenario(
+        "dgemm_ampom_lossy",
+        "DGEMM",
+        115,
+        "AMPoM",
+        seed=7,
+        faults=FaultSpec(loss_rate=0.05, duplicate_rate=0.02, delay_rate=0.1, delay_s=0.005),
+    ),
+    GoldenScenario(
+        "stream_ampom_crash",
+        "STREAM",
+        115,
+        "AMPoM",
+        seed=3,
+        faults=FaultSpec(deputy_crash_windows=((0.5, 0.9),)),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# running + serialization
+# ----------------------------------------------------------------------
+def _scenario_config(scenario: GoldenScenario) -> SimulationConfig:
+    from ..experiments import figures
+
+    config = figures.scaled_config(scenario.scale, seed=scenario.seed)
+    if scenario.faults.active:
+        config = config.with_(faults=scenario.faults)
+    # Golden runs double as an invariant/oracle sweep; checks never alter
+    # the recorded trace (they are pure observers).
+    return config.with_(checks=CheckSpec(enabled=True))
+
+
+def run_scenario(scenario: GoldenScenario) -> list[str]:
+    """Execute one scenario; return its serialized JSONL lines."""
+    from ..cluster.runner import MigrationRun
+    from ..experiments import figures
+    from ..workloads.hpcc import hpcc_workload
+
+    fault_log = FaultLog()
+    run = MigrationRun(
+        hpcc_workload(scenario.kernel, scenario.memory_mb, scale=scenario.scale),
+        figures.make_strategy(scenario.scheme),
+        config=_scenario_config(scenario),
+        fault_log=fault_log,
+    )
+    result = run.execute()
+
+    lines = [json.dumps(scenario.header(), sort_keys=True)]
+    for event in fault_log.events():
+        lines.append(
+            json.dumps(
+                {
+                    "t": event.time,
+                    "vpn": event.vpn,
+                    "kind": event.kind.value,
+                    "prefetched": event.prefetched,
+                    "stall": event.stall,
+                },
+                sort_keys=True,
+            )
+        )
+    lines.append(
+        json.dumps(
+            {
+                "freeze_time_s": result.freeze_time,
+                "run_time_s": result.run_time,
+                "wasted_pages": result.wasted_pages,
+                "budget": result.budget.as_dict(),
+                "counters": result.counters.as_dict(),
+            },
+            sort_keys=True,
+        )
+    )
+    return lines
+
+
+def record_scenarios(
+    out_dir: Path | str = DEFAULT_GOLDEN_DIR,
+    scenarios: Iterable[GoldenScenario] = SCENARIOS,
+) -> list[Path]:
+    """Run the matrix and write one ``<name>.jsonl`` per scenario."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for scenario in scenarios:
+        path = out / f"{scenario.name}.jsonl"
+        path.write_text("\n".join(run_scenario(scenario)) + "\n")
+        written.append(path)
+    return written
+
+
+# ----------------------------------------------------------------------
+# structural diff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TraceDivergence:
+    """First structural difference found in one scenario's trace."""
+
+    scenario: str
+    line: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.scenario}:{self.line}: {self.reason}"
+
+
+def _diff_lines(scenario: str, golden: list[str], fresh: list[str]) -> TraceDivergence | None:
+    for i, (a, b) in enumerate(zip(golden, fresh), start=1):
+        if a == b:
+            continue
+        try:
+            obj_a, obj_b = json.loads(a), json.loads(b)
+        except json.JSONDecodeError:
+            return TraceDivergence(scenario, i, f"unparseable line: {a!r} vs {b!r}")
+        keys = sorted(set(obj_a) | set(obj_b))
+        for key in keys:
+            va, vb = obj_a.get(key, "<absent>"), obj_b.get(key, "<absent>")
+            if va != vb:
+                return TraceDivergence(
+                    scenario, i, f"field {key!r}: golden={va!r} current={vb!r}"
+                )
+        return TraceDivergence(scenario, i, "lines differ only in key order")
+    if len(golden) != len(fresh):
+        return TraceDivergence(
+            scenario,
+            min(len(golden), len(fresh)) + 1,
+            f"trace length changed: golden has {len(golden)} lines, "
+            f"current run has {len(fresh)}",
+        )
+    return None
+
+
+def diff_scenarios(
+    golden_dir: Path | str = DEFAULT_GOLDEN_DIR,
+    scenarios: Iterable[GoldenScenario] = SCENARIOS,
+) -> list[TraceDivergence]:
+    """Re-run the matrix and structurally diff against the stored traces.
+
+    Returns one :class:`TraceDivergence` per diverging or missing
+    scenario; an empty list means no behavioral drift.
+    """
+    golden = Path(golden_dir)
+    divergences: list[TraceDivergence] = []
+    for scenario in scenarios:
+        path = golden / f"{scenario.name}.jsonl"
+        if not path.exists():
+            divergences.append(
+                TraceDivergence(
+                    scenario.name, 0, f"golden trace missing: {path} (run `repro check record`)"
+                )
+            )
+            continue
+        stored = path.read_text().splitlines()
+        fresh = run_scenario(scenario)
+        divergence = _diff_lines(scenario.name, stored, fresh)
+        if divergence is not None:
+            divergences.append(divergence)
+    return divergences
+
+
+__all__ = [
+    "DEFAULT_GOLDEN_DIR",
+    "GoldenScenario",
+    "SCENARIOS",
+    "TraceDivergence",
+    "diff_scenarios",
+    "record_scenarios",
+    "run_scenario",
+]

@@ -126,6 +126,36 @@ def _build_parser() -> argparse.ArgumentParser:
     headline = sub.add_parser("headline", help="print the headline-claim summary")
     headline.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
 
+    check = sub.add_parser(
+        "check",
+        help="golden-trace regression harness (see docs/CHECKS.md)",
+        description="Record or diff the deterministic golden event traces of "
+        "the pinned scenario matrix.  Every scenario runs with the runtime "
+        "invariant checker and the differential AMPoM oracle enabled.",
+    )
+    check_sub = check.add_subparsers(dest="check_command", required=True)
+    record = check_sub.add_parser(
+        "record", help="run the scenario matrix and (re)write the golden traces"
+    )
+    record.add_argument(
+        "--out",
+        default=None,
+        help="output directory (default: tests/golden under the repo root)",
+    )
+    diff = check_sub.add_parser(
+        "diff", help="re-run the matrix and fail on any behavioral drift"
+    )
+    diff.add_argument(
+        "--golden",
+        default=None,
+        help="directory holding the recorded traces (default: tests/golden)",
+    )
+    diff.add_argument(
+        "--report",
+        default=None,
+        help="also write the divergence report to this file (CI artifact)",
+    )
+
     return parser
 
 
@@ -289,6 +319,48 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_golden_dir() -> str:
+    """tests/golden next to the installed package's repo root, if present."""
+    import os
+
+    from .check.golden import DEFAULT_GOLDEN_DIR
+
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    candidate = os.path.join(here, str(DEFAULT_GOLDEN_DIR))
+    if os.path.isdir(os.path.dirname(candidate)):
+        return candidate
+    return str(DEFAULT_GOLDEN_DIR)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check.golden import SCENARIOS, diff_scenarios, record_scenarios
+
+    if args.check_command == "record":
+        out = args.out if args.out is not None else _default_golden_dir()
+        written = record_scenarios(out)
+        for path in written:
+            print(f"recorded {path}")
+        print(f"{len(written)} golden traces written to {out}")
+        return 0
+
+    golden = args.golden if args.golden is not None else _default_golden_dir()
+    divergences = diff_scenarios(golden)
+    report_lines = [str(d) for d in divergences]
+    if args.report is not None:
+        from pathlib import Path
+
+        body = "\n".join(report_lines) + "\n" if report_lines else "no divergences\n"
+        Path(args.report).write_text(body)
+    if divergences:
+        print(f"golden-trace drift in {len(divergences)}/{len(SCENARIOS)} scenarios:")
+        for line in report_lines:
+            print(f"  {line}")
+        print("If the change is intentional, refresh with `repro check record`.")
+        return 1
+    print(f"golden traces match ({len(SCENARIOS)} scenarios, no drift)")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.export import export_figures_csv
 
@@ -304,6 +376,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "headline": _cmd_headline,
     "export": _cmd_export,
+    "check": _cmd_check,
 }
 
 

@@ -75,6 +75,8 @@ class MigrationRun:
         self.outcome: MigrationOutcome | None = None
         self.infod: InfoDaemon | None = None
         self.result: ExecutionResult | None = None
+        #: The attached invariant checker when config.checks.enabled.
+        self.checker = None
 
         # Fault injection: when the spec can perturb anything, wrap the
         # home<->dest link in lossy directions driven by a seeded plan.
@@ -155,6 +157,20 @@ class MigrationRun:
         self.result = result
         return result
 
+    def _make_checker(self, outcome: MigrationOutcome, executor: MigrantExecutor):
+        """Attach the repro.check invariant checker + oracle (observers)."""
+        from ..check import DifferentialOracle, InvariantChecker
+
+        checker = InvariantChecker(
+            self.config.checks, self.sim, outcome, executor.counters
+        )
+        executor.checker = checker
+        self.checker = checker
+        self.sim.add_observer(checker.on_sim_event)
+        if self.config.checks.oracle and hasattr(outcome.policy, "check_oracle"):
+            outcome.policy.check_oracle = DifferentialOracle()
+        return checker
+
     def _scenario(self, ctx: MigrationContext):
         outcome = self.strategy.perform(ctx)
         self.outcome = outcome
@@ -186,10 +202,16 @@ class MigrationRun:
             ),
             injection_log=self.injection_log,
         )
+        checker = None
+        if self.config.checks.enabled:
+            checker = self._make_checker(outcome, executor)
         proc = executor.start()
         result = yield proc
         if proc.error is not None:
             raise proc.error
+        if checker is not None:
+            checker.final_audit()
+            self.sim.remove_observer(checker.on_sim_event)
         if self.infod is not None:
             self.infod.stop()
         return result

@@ -265,6 +265,51 @@ class RetrySpec:
 
 
 @dataclass(frozen=True)
+class CheckSpec:
+    """Configuration of the :mod:`repro.check` runtime correctness tooling.
+
+    Checks are pure observers: they never alter simulation state or
+    timing, so a run with checks enabled produces bit-identical results to
+    the same run with checks off — it merely raises
+    :class:`repro.errors.InvariantViolation` if the model misbehaves.
+    The default (disabled) spec adds zero work to the hot path.
+    """
+
+    #: Master switch for the runtime invariant checker.
+    enabled: bool = False
+    #: Also cross-check every dependent-zone analysis against the
+    #: brute-force AMPoM oracle (eq. 1-3 + pivot selection).
+    oracle: bool = True
+    #: Run the full set-theoretic residency audit every this many checked
+    #: events (cheap O(1) size/counter checks run on every event; the deep
+    #: audit is O(pages)).  A final deep audit always runs at end of run.
+    deep_audit_interval: int = 64
+    #: How many recent events the checker retains for violation reports.
+    trace_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.deep_audit_interval < 1:
+            raise ConfigurationError("deep_audit_interval must be >= 1")
+        if self.trace_depth < 0:
+            raise ConfigurationError("trace_depth must be non-negative")
+
+    @classmethod
+    def from_env(cls) -> "CheckSpec":
+        """Default spec honouring the ``REPRO_CHECKS`` environment variable.
+
+        ``REPRO_CHECKS=1`` turns the invariant checker and oracle on for
+        every :class:`SimulationConfig` built with default arguments —
+        how the CI ``checks-on`` job runs the whole test suite under the
+        checker without touching any call site.
+        """
+        import os
+
+        if os.environ.get("REPRO_CHECKS", "") not in ("", "0"):
+            return cls(enabled=True)
+        return cls()
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level bundle passed to :class:`repro.cluster.runner.MigrationRun`."""
 
@@ -274,6 +319,7 @@ class SimulationConfig:
     infod: InfoDConfig = field(default_factory=InfoDConfig)
     faults: FaultSpec = field(default_factory=FaultSpec)
     retry: RetrySpec = field(default_factory=RetrySpec)
+    checks: CheckSpec = field(default_factory=CheckSpec.from_env)
     seed: int = 0
 
     def with_network(self, network: NetworkSpec) -> "SimulationConfig":

@@ -69,6 +69,12 @@ class AMPoMPrefetcher:
         self.last_trace = PrefetchTrace()
         #: Cumulative analyses performed (equals faults consulted).
         self.analyses = 0
+        #: Optional :class:`repro.check.DifferentialOracle`; when set,
+        #: every analysis is re-derived from the paper's equations by a
+        #: brute-force reference and any disagreement raises
+        #: :class:`repro.errors.InvariantViolation`.  Pure observer: the
+        #: returned prefetch set is unaffected.
+        self.check_oracle = None
 
     def on_fault(
         self,
@@ -107,6 +113,23 @@ class AMPoMPrefetcher:
         dependent = select_dependent_pages(
             pages, n, cfg.dmax, self.address_limit, streams=streams
         )
+        if self.check_oracle is not None:
+            self.check_oracle.verify_analysis(
+                pages=pages,
+                dmax=cfg.dmax,
+                score=score,
+                paging_rate=rate,
+                horizon=horizon,
+                rtt_s=conditions.rtt_s,
+                page_transfer_time=td,
+                cpu_ratio=cpu_ratio,
+                zone_size=n,
+                max_pages=cfg.max_zone_pages,
+                min_pages=cfg.min_zone_pages,
+                streams=streams,
+                dependent=dependent,
+                address_limit=self.address_limit,
+            )
         # Only pages still stored at the origin can be requested (a page in
         # the dependent zone that is local, buffered, in flight, or not yet
         # created consumes zone quota but is not put on the wire).

@@ -34,3 +34,27 @@ class FaultInjectionError(ReproError):
     """Raised for invalid use of the fault-injection subsystem (e.g.
     wrapping a link that already carried traffic, or injecting faults
     into a scheme whose page service cannot retransmit)."""
+
+
+class InvariantViolation(ReproError):
+    """Raised by the :mod:`repro.check` runtime checker when the simulated
+    system breaks one of the paper's structural invariants (page-residency
+    conservation, duplicate transfers, clock monotonicity, counter
+    consistency) or when the differential oracle disagrees with the
+    production AMPoM implementation.
+
+    The exception is structured: ``invariant`` names the broken rule,
+    ``detail`` describes the offending state, and ``trace`` carries the
+    most recent checker events (newest last) so a violation deep in a long
+    run is diagnosable without re-running it.
+    """
+
+    def __init__(self, invariant: str, detail: str, trace: tuple = ()) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.trace = tuple(trace)
+        lines = [f"[{invariant}] {detail}"]
+        if self.trace:
+            lines.append("recent events (oldest first):")
+            lines.extend(f"  {event}" for event in self.trace)
+        super().__init__("\n".join(lines))

@@ -37,6 +37,13 @@ class HomePageTable:
 
     def __init__(self, pages: Iterable[int] = ()) -> None:
         self._pages: set[int] = set(pages)
+        #: Pages stored at migration time (audit baseline for repro.check:
+        #: ``len(self) == initial_pages - released_total + stored_total``).
+        self.initial_pages = len(self._pages)
+        #: Cumulative releases (pages shipped to the migrant).
+        self.released_total = 0
+        #: Cumulative stores (pages written back by eviction).
+        self.stored_total = 0
 
     def __contains__(self, vpn: int) -> bool:
         return vpn in self._pages
@@ -54,6 +61,7 @@ class HomePageTable:
             self._pages.remove(vpn)
         except KeyError:
             raise MemoryStateError(f"page {vpn} is not stored at the origin")
+        self.released_total += 1
 
     def store(self, vpn: int) -> None:
         """Store a page written back by the migrant (memory pressure at the
@@ -61,6 +69,7 @@ class HomePageTable:
         if vpn in self._pages:
             raise MemoryStateError(f"page {vpn} is already stored at the origin")
         self._pages.add(vpn)
+        self.stored_total += 1
 
     def drop(self, vpn: int) -> None:
         """Remove an unmapped page that was still stored at the origin."""

@@ -65,6 +65,10 @@ class ResidencyTracker:
         return vpn in self._remote
 
     @property
+    def n_mapped(self) -> int:
+        return len(self.mapped)
+
+    @property
     def n_remote(self) -> int:
         return len(self._remote)
 
@@ -81,6 +85,27 @@ class ResidencyTracker:
             return self._in_flight[vpn]
         except KeyError:
             raise MemoryStateError(f"page {vpn} is not in flight")
+
+    def state_sets(self) -> dict[str, set[int]]:
+        """Copies of the four state sets, keyed by state name.
+
+        Used by the :mod:`repro.check` deep audit to verify that the
+        states are pairwise disjoint and jointly exhaustive; intentionally
+        a copy so auditing cannot perturb the tracker.
+        """
+        return {
+            "mapped": set(self.mapped),
+            "buffered": set(self._buffered),
+            "in_flight": set(self._in_flight),
+            "remote": set(self._remote),
+        }
+
+    @property
+    def total_pages(self) -> int:
+        """Pages currently tracked, across all four states."""
+        return (
+            len(self.mapped) + len(self._buffered) + len(self._in_flight) + len(self._remote)
+        )
 
     # ------------------------------------------------------------------
     # transitions

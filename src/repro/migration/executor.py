@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from ..node.node import Node
 from ..sim import SimProcess, Simulator, Timeout
 from ..workloads.base import Syscall, TraceChunk, Workload
 from .base import MigrationOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..check.invariants import InvariantChecker
 
 
 @dataclass(slots=True)
@@ -104,6 +108,7 @@ class MigrantExecutor:
         retry: RetrySpec | None = None,
         retry_rng: np.random.Generator | None = None,
         injection_log: FaultInjectionLog | None = None,
+        checker: "InvariantChecker | None" = None,
     ) -> None:
         self.sim = sim
         self.workload = workload
@@ -114,6 +119,9 @@ class MigrantExecutor:
         self.track_touched = track_touched
         self.fault_log = fault_log
         self.injection_log = injection_log
+        #: Optional repro.check invariant checker (pure observer); set by
+        #: the runner when SimulationConfig.checks.enabled is true.
+        self.checker = checker
 
         # Reliable-protocol state.  ``retry`` arms a retransmission timer
         # on every demand request whose reply may be lost; it is only set
@@ -269,12 +277,19 @@ class MigrantExecutor:
         res = self.outcome.residency
         res.unmap(victim)
         self.outcome.mpt.mark_home(victim)
-        self.outcome.hpt.store(victim)
+        service = self.outcome.page_service
         self.counters.pages_evicted += 1
-        writeback = getattr(self.outcome.page_service, "request_channel", None)
+        writeback = getattr(service, "request_channel", None)
+        arrival = self.sim.now
         if writeback is not None:
             # Write-behind: occupies the uplink but does not stall us.
-            writeback.transfer_page(self.hardware.page_size, self.sim.now)
+            arrival = writeback.transfer_page(self.hardware.page_size, self.sim.now)
+        if hasattr(service, "store_writeback"):
+            # FFA: the file server, not the home node, is the backing
+            # store; the page is requestable once the write-back lands.
+            service.store_writeback(victim, arrival)
+        else:
+            self.outcome.hpt.store(victim)
 
     # ------------------------------------------------------------------
     def _acquire_cpu(self) -> None:
@@ -377,6 +392,8 @@ class MigrantExecutor:
             self.counters.demand_requests += 1
             self.counters.pages_demand_fetched += 1
             self.counters.pages_prefetched += len(prefetch)
+            if self.checker is not None:
+                self.checker.on_request([vpn], prefetch)
             if self._reliable:
                 demand_seq = service.next_seq()
                 arrivals = service.request([vpn], prefetch, sim.now, seq=demand_seq)
@@ -389,6 +406,8 @@ class MigrantExecutor:
         elif prefetch:
             self.counters.prefetch_requests += 1
             self.counters.pages_prefetched += len(prefetch)
+            if self.checker is not None:
+                self.checker.on_request([], prefetch)
             if self._reliable:
                 arrivals = service.request([], prefetch, sim.now, seq=service.next_seq())
                 self._register_fetches(arrivals)
@@ -421,6 +440,8 @@ class MigrantExecutor:
                 yield from self._copy_buffered(res)
         if self.fault_log is not None:
             self.fault_log.record(now, vpn, kind, len(prefetch), stall)
+        if self.checker is not None:
+            self.checker.on_fault(kind, vpn)
 
     # ------------------------------------------------------------------
     # the reliable remote-paging protocol (fault-injection runs only)
@@ -505,6 +526,8 @@ class MigrantExecutor:
             self._log_event(
                 FaultEventKind.RETRANSMIT, detail=f"vpn={vpn} seq={seq} attempt={attempt}"
             )
+            if self.checker is not None:
+                self.checker.on_request([vpn], [], retransmit=True)
             self._register_fetches(service.request([vpn], [], sim.now, seq=seq))
         if self._degraded:
             self._degraded = False

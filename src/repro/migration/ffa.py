@@ -82,6 +82,14 @@ class FileServerPageService:
         self.server_busy_until = clock
         return arrivals
 
+    def store_writeback(self, vpn: int, available_at: float) -> None:
+        """Accept an evicted dirty page written back by the migrant.
+
+        The file server is FFA's backing store: once the write-back lands
+        the page is requestable again, like any flushed page.
+        """
+        self.flush_times[vpn] = available_at
+
     def forward_syscall(self, syscall: Syscall, now: float) -> float:
         request_arrival = self.deputy_request_channel.transfer(REQUEST_HEADER_BYTES + 64, now)
         return self.deputy.serve_syscall(

@@ -168,6 +168,37 @@ class Deputy:
         return arrivals
 
     # ------------------------------------------------------------------
+    def audit_ledger(self) -> None:
+        """Verify the deputy's own page ledger (repro.check deep audit).
+
+        The deputy is the only actor that releases HPT pages in a
+        deputy-backed run, so every release must be accounted for by a
+        served page, and the replay cache must respect its bound.
+        """
+        from ..errors import InvariantViolation
+
+        if self.pages_served != self.hpt.released_total:
+            raise InvariantViolation(
+                "deputy-ledger",
+                f"pages_served={self.pages_served} but the HPT recorded "
+                f"{self.hpt.released_total} releases",
+            )
+        expected = self.hpt.initial_pages - self.hpt.released_total + self.hpt.stored_total
+        if len(self.hpt) != expected:
+            raise InvariantViolation(
+                "hpt-conservation",
+                f"HPT holds {len(self.hpt)} pages but initial({self.hpt.initial_pages}) "
+                f"- released({self.hpt.released_total}) + stored({self.hpt.stored_total}) "
+                f"= {expected}",
+            )
+        if self._replay_capacity >= 0 and len(self._replay_pages) > self._replay_capacity:
+            raise InvariantViolation(
+                "replay-cache-bound",
+                f"replay cache holds {len(self._replay_pages)} pages, "
+                f"capacity {self._replay_capacity}",
+            )
+
+    # ------------------------------------------------------------------
     def serve_syscall(
         self,
         request_arrival: float,

@@ -34,6 +34,22 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._processes: list["SimProcess"] = []
+        #: Pure observers invoked after every fired event with the event
+        #: time.  Observers must not schedule or mutate model state; the
+        #: repro.check invariant checker uses this to audit clock
+        #: monotonicity and to count events.
+        self._observers: list[Callable[[float], None]] = []
+
+    def add_observer(self, observer: Callable[[float], None]) -> None:
+        """Register a read-only hook called after each event fires."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[float], None]) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     @property
     def now(self) -> float:
@@ -91,6 +107,8 @@ class Simulator:
             raise SimulationError("event heap yielded an event from the past")
         self._now = event.time
         event.callback()
+        for observer in self._observers:
+            observer(event.time)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:

@@ -46,6 +46,24 @@ def test_eviction_restores_remote_fetchability():
     assert c.pages_demand_fetched > w.n_pages
 
 
+def test_ffa_eviction_writes_back_to_file_server():
+    """Regression: under FFA the file server is the backing store, so an
+    evicted dirty page must be written back *there* (not to the HPT) and
+    be servable again on the next fault.  The fetch-once ``flush_times``
+    pop used to raise ``MemoryStateError`` on the re-fault."""
+    from repro.migration.ffa import FfaMigration
+
+    w = SequentialWorkload(mib(1), sweeps=2)
+    run_obj = MigrationRun(w, FfaMigration(), capacity_pages=w.n_pages // 2)
+    result = run_obj.execute()
+    c = result.counters
+    assert c.pages_evicted > 0
+    # Sweep 2 re-fetched evicted pages from the file server.
+    assert c.pages_demand_fetched > w.n_pages
+    # The written-back copies live on the file server, not the home node.
+    assert all(vpn not in run_obj.outcome.hpt for vpn in range(w.n_pages))
+
+
 def test_accounting_identity_holds_under_pressure():
     w = SequentialWorkload(mib(1), sweeps=2)
     result = run(w, AmpomMigration(), capacity_pages=w.n_pages // 2)

@@ -12,6 +12,12 @@ Run with::
 Program sizes default to 1/8 of the paper's (the series keys stay in paper
 MB); freeze-time benchmarks run at full scale.  See EXPERIMENTS.md for the
 scaling methodology and the paper-vs-measured record.
+
+Sweeps fan out across worker processes when ``REPRO_JOBS`` is set (e.g.
+``REPRO_JOBS=auto pytest benchmarks/ --benchmark-only``): every cell is a
+fully pinned independent run, so results are identical at any width — see
+``repro.cluster.parallel`` and docs/PERFORMANCE.md.  :func:`pmap` exposes
+the same fan-out for benchmark-local loops.
 """
 
 from __future__ import annotations
@@ -19,6 +25,17 @@ from __future__ import annotations
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pmap(fn, items):
+    """Order-preserving parallel map over independent benchmark cells.
+
+    Sequential unless ``REPRO_JOBS`` is set; ``fn`` must be a module-level
+    function and each item plain picklable data.
+    """
+    from repro.cluster.parallel import parallel_map
+
+    return parallel_map(fn, items)
 
 
 def emit(name: str, text: str) -> None:

@@ -149,14 +149,24 @@ def run_scenario(scenario: GoldenScenario) -> list[str]:
 def record_scenarios(
     out_dir: Path | str = DEFAULT_GOLDEN_DIR,
     scenarios: Iterable[GoldenScenario] = SCENARIOS,
+    jobs: int | str | None = None,
 ) -> list[Path]:
-    """Run the matrix and write one ``<name>.jsonl`` per scenario."""
+    """Run the matrix and write one ``<name>.jsonl`` per scenario.
+
+    ``jobs`` fans the independent scenario runs across worker processes
+    (see :func:`repro.cluster.parallel.parallel_map`); every scenario is
+    fully pinned, so the recorded traces are byte-identical at any width.
+    """
+    from ..cluster.parallel import parallel_map
+
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    scenarios = list(scenarios)
+    traces = parallel_map(run_scenario, scenarios, jobs=jobs)
     written: list[Path] = []
-    for scenario in scenarios:
+    for scenario, lines in zip(scenarios, traces):
         path = out / f"{scenario.name}.jsonl"
-        path.write_text("\n".join(run_scenario(scenario)) + "\n")
+        path.write_text("\n".join(lines) + "\n")
         written.append(path)
     return written
 
@@ -205,13 +215,23 @@ def _diff_lines(scenario: str, golden: list[str], fresh: list[str]) -> TraceDive
 def diff_scenarios(
     golden_dir: Path | str = DEFAULT_GOLDEN_DIR,
     scenarios: Iterable[GoldenScenario] = SCENARIOS,
+    jobs: int | str | None = None,
 ) -> list[TraceDivergence]:
     """Re-run the matrix and structurally diff against the stored traces.
 
     Returns one :class:`TraceDivergence` per diverging or missing
-    scenario; an empty list means no behavioral drift.
+    scenario; an empty list means no behavioral drift.  ``jobs`` fans the
+    re-runs across worker processes; divergences are still reported in
+    scenario order.
     """
+    from ..cluster.parallel import parallel_map
+
     golden = Path(golden_dir)
+    scenarios = list(scenarios)
+    present = [s for s in scenarios if (golden / f"{s.name}.jsonl").exists()]
+    fresh_by_name = dict(
+        zip((s.name for s in present), parallel_map(run_scenario, present, jobs=jobs))
+    )
     divergences: list[TraceDivergence] = []
     for scenario in scenarios:
         path = golden / f"{scenario.name}.jsonl"
@@ -223,8 +243,7 @@ def diff_scenarios(
             )
             continue
         stored = path.read_text().splitlines()
-        fresh = run_scenario(scenario)
-        divergence = _diff_lines(scenario.name, stored, fresh)
+        divergence = _diff_lines(scenario.name, stored, fresh_by_name[scenario.name])
         if divergence is not None:
             divergences.append(divergence)
     return divergences

@@ -114,6 +114,12 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one figure's series")
     figure.add_argument("number", type=int, choices=(5, 6, 7, 8, 9, 10, 11))
     figure.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
+    figure.add_argument(
+        "--jobs",
+        default="auto",
+        help="worker processes for the sweep (a count, or 'auto' for one "
+        "per CPU; results are identical at any width)",
+    )
 
     sub.add_parser("table1", help="print table 1 (HPCC sizes)")
 
@@ -142,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output directory (default: tests/golden under the repo root)",
     )
+    record.add_argument(
+        "--jobs",
+        default="auto",
+        help="worker processes for the scenario matrix (count or 'auto')",
+    )
     diff = check_sub.add_parser(
         "diff", help="re-run the matrix and fail on any behavioral drift"
     )
@@ -154,6 +165,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report",
         default=None,
         help="also write the divergence report to this file (CI artifact)",
+    )
+    diff.add_argument(
+        "--jobs",
+        default="auto",
+        help="worker processes for the scenario matrix (count or 'auto')",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="simulator throughput smoke benchmark (JSON record + gate)",
+        description="Time the four simulator hot-path cases of "
+        "benchmarks/bench_simulator_throughput.py with plain wall clocks, "
+        "write a JSON record, and optionally fail on regression against a "
+        "committed baseline.  See docs/PERFORMANCE.md.",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per case (best-of)"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 2 repeats per case",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: benchmarks/results/BENCH_throughput.json)",
+    )
+    bench.add_argument(
+        "--against",
+        default=None,
+        help="baseline JSON to gate against (e.g. "
+        "benchmarks/baselines/BENCH_throughput.json)",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="allowed fractional score slowdown vs the baseline (default 0.25)",
     )
 
     return parser
@@ -243,7 +293,7 @@ def _print_series(title: str, by_label: dict) -> None:
 def _cmd_figure(args: argparse.Namespace) -> int:
     n = args.number
     if n == 5:
-        data = figures.figure5_full_scale()
+        data = figures.figure5_full_scale(jobs=args.jobs)
         for kernel, schemes in data.items():
             _print_series(f"Figure 5 ({kernel}) — freeze time, s (full scale)", schemes)
         return 0
@@ -261,7 +311,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         _print_series("Figure 10 — working-set DGEMM, total s", data)
         return 0
 
-    matrix = figures.run_matrix(scale=args.scale)
+    matrix = figures.run_matrix(scale=args.scale, jobs=args.jobs)
     if n == 6:
         for kernel, schemes in figures.figure6(matrix).items():
             _print_series(f"Figure 6 ({kernel}) — total execution time, s", schemes)
@@ -337,14 +387,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     if args.check_command == "record":
         out = args.out if args.out is not None else _default_golden_dir()
-        written = record_scenarios(out)
+        written = record_scenarios(out, jobs=args.jobs)
         for path in written:
             print(f"recorded {path}")
         print(f"{len(written)} golden traces written to {out}")
         return 0
 
     golden = args.golden if args.golden is not None else _default_golden_dir()
-    divergences = diff_scenarios(golden)
+    divergences = diff_scenarios(golden, jobs=args.jobs)
     report_lines = [str(d) for d in divergences]
     if args.report is not None:
         from pathlib import Path
@@ -358,6 +408,42 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print("If the change is intentional, refresh with `repro check record`.")
         return 1
     print(f"golden traces match ({len(SCENARIOS)} scenarios, no drift)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .experiments import bench
+
+    repeats = 2 if args.quick else args.repeats
+    record = bench.run_bench(repeats=repeats)
+    out = args.out if args.out is not None else str(bench.DEFAULT_OUT)
+    path = bench.write_record(record, out)
+    print(f"calibration: {record['calibration_s'] * 1e3:.2f} ms")
+    for name, case in record["cases"].items():
+        print(
+            f"{name:16s} min {case['min_s'] * 1e3:8.2f} ms   "
+            f"score {case['score']:8.1f}"
+        )
+    print(f"wrote {path}")
+    if args.against is None:
+        return 0
+    from pathlib import Path
+
+    baseline = _json.loads(Path(args.against).read_text())
+    limit = (
+        args.max_regression
+        if args.max_regression is not None
+        else bench.DEFAULT_MAX_REGRESSION
+    )
+    breaches = bench.compare(record, baseline, max_regression=limit)
+    if breaches:
+        print(f"benchmark regression vs {args.against}:")
+        for line in breaches:
+            print(f"  {line}")
+        return 1
+    print(f"no regression vs {args.against} (limit {limit:.0%})")
     return 0
 
 
@@ -377,6 +463,7 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "export": _cmd_export,
     "check": _cmd_check,
+    "bench": _cmd_bench,
 }
 
 

@@ -9,6 +9,7 @@ from .cluster import Cluster
 from .gossip import GossipLoadMap
 from .loadgen import BackgroundLoad
 from .multi import MultiMigrationRun
+from .parallel import parallel_map, resolve_jobs
 from .runner import MigrationRun
 from .scheduler import ClusterScheduler, SchedulerReport, Task
 
@@ -21,4 +22,6 @@ __all__ = [
     "MultiMigrationRun",
     "SchedulerReport",
     "Task",
+    "parallel_map",
+    "resolve_jobs",
 ]

@@ -18,11 +18,23 @@ from typing import Sequence
 from .stride import stride_counts
 
 
-def spatial_locality_score(pages: Sequence[int], dmax: int) -> float:
-    """Compute ``S`` for the reference stream ``pages``."""
+def spatial_locality_score(
+    pages: Sequence[int],
+    dmax: int,
+    counts: dict[int, int] | None = None,
+) -> float:
+    """Compute ``S`` for the reference stream ``pages``.
+
+    ``counts`` may supply precomputed :func:`repro.core.stride.stride_counts`
+    for ``pages`` so one window analysis serves both the score and the
+    stream selection (see also
+    :meth:`repro.core.incremental.IncrementalWindow.locality_score`, which
+    maintains the counts across faults instead of recomputing them).
+    """
     l = len(pages)
     if l == 0:
         return 0.0
-    counts = stride_counts(pages, dmax)
+    if counts is None:
+        counts = stride_counts(pages, dmax)
     score = sum(count / (l * d) for d, count in counts.items())
     return min(max(score, 0.0), 1.0)

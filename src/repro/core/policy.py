@@ -47,6 +47,10 @@ class PrefetchPolicy(Protocol):
     name: str
     #: CPU time charged per consulted fault (figure 11's overhead model).
     analysis_time: float
+    #: Whether the policy reads the :class:`LinkConditions` snapshot.  A
+    #: policy that ignores it (demand paging) sets this ``False`` so the
+    #: executor can skip sampling the oM_infoD daemon on its fault path.
+    needs_conditions: bool
 
     def on_fault(
         self,
@@ -70,6 +74,7 @@ class NoPrefetchPolicy:
 
     name = "noprefetch"
     analysis_time = 0.0
+    needs_conditions = False
 
     def on_fault(
         self,
@@ -86,6 +91,7 @@ class FixedReadAheadPolicy:
     """Always prefetch the next ``k`` pages after the faulting page."""
 
     analysis_time = 0.0
+    needs_conditions = False
 
     def __init__(self, k: int, address_limit: int) -> None:
         if k < 1:
@@ -103,13 +109,15 @@ class FixedReadAheadPolicy:
         conditions: LinkConditions,
     ) -> list[int]:
         stop = min(vpn + 1 + self.k, self.address_limit)
-        return [p for p in range(vpn + 1, stop) if residency.is_remote(p)]
+        remote = residency.remote_set
+        return [p for p in range(vpn + 1, stop) if p in remote]
 
 
 class LinuxReadAheadPolicy:
     """Doubling-window sequential read-ahead (Linux 2.4 buffer cache)."""
 
     analysis_time = 0.0
+    needs_conditions = False
 
     def __init__(self, address_limit: int, min_pages: int = 4, max_pages: int = 32) -> None:
         self.address_limit = address_limit
@@ -126,4 +134,5 @@ class LinuxReadAheadPolicy:
     ) -> list[int]:
         k = self._window.on_access(vpn)
         stop = min(vpn + 1 + k, self.address_limit)
-        return [p for p in range(vpn + 1, stop) if residency.is_remote(p)]
+        remote = residency.remote_set
+        return [p for p in range(vpn + 1, stop) if p in remote]

@@ -36,23 +36,40 @@ class OutstandingStream:
     pivot: int
 
 
-def _positions_by_page(pages: Sequence[int]) -> dict[int, list[int]]:
+def positions_by_page(pages: Sequence[int]) -> dict[int, list[int]]:
+    """The page-position index: page value -> ascending window positions.
+
+    Both window scans below consume this index; callers analysing the same
+    window more than once should build it once and pass it through their
+    ``positions`` parameter instead of letting each function rebuild it
+    (or use :class:`repro.core.incremental.IncrementalWindow`, which
+    maintains the index across faults).
+    """
     index: dict[int, list[int]] = {}
     for i, vpn in enumerate(pages):
         index.setdefault(vpn, []).append(i)
     return index
 
 
-def stride_counts(pages: Sequence[int], dmax: int) -> dict[int, int]:
+# Backwards-compatible private alias (pre-refactor name).
+_positions_by_page = positions_by_page
+
+
+def stride_counts(
+    pages: Sequence[int],
+    dmax: int,
+    positions: dict[int, list[int]] | None = None,
+) -> dict[int, int]:
     """``stride_d`` for ``d = 1 .. dmax``: distinct participating pages.
 
     For each reference ``r_p``, the nearest (minimum absolute distance)
     reference to page ``r_p + 1`` defines the stride of the pair; both
-    pages participate in ``stride_d``.
+    pages participate in ``stride_d``.  ``positions`` may supply a
+    prebuilt :func:`positions_by_page` index for ``pages``.
     """
     if dmax < 1:
         raise ValueError(f"dmax must be >= 1, got {dmax}")
-    index = _positions_by_page(pages)
+    index = positions_by_page(pages) if positions is None else positions
     participants: dict[int, set[int]] = {d: set() for d in range(1, dmax + 1)}
     for p, vpn in enumerate(pages):
         successors = index.get(vpn + 1)
@@ -65,7 +82,11 @@ def stride_counts(pages: Sequence[int], dmax: int) -> dict[int, int]:
     return {d: len(s) for d, s in participants.items()}
 
 
-def find_outstanding_streams(pages: Sequence[int], dmax: int) -> list[OutstandingStream]:
+def find_outstanding_streams(
+    pages: Sequence[int],
+    dmax: int,
+    positions: dict[int, list[int]] | None = None,
+) -> list[OutstandingStream]:
     """Outstanding stride-``d`` streams and their prefetch pivots.
 
     A forward pair ``(p, p + d)`` with ``pages[p + d] == pages[p] + 1`` is
@@ -73,11 +94,12 @@ def find_outstanding_streams(pages: Sequence[int], dmax: int) -> list[Outstandin
     end (0-based: ``p + d >= len(pages) - d``).  ``d`` must be the minimum
     forward distance from ``p`` to a reference of ``pages[p] + 1``.
     Streams sharing a pivot are reported once (the one ending latest).
+    ``positions`` may supply a prebuilt :func:`positions_by_page` index.
     """
     if dmax < 1:
         raise ValueError(f"dmax must be >= 1, got {dmax}")
     n = len(pages)
-    index = _positions_by_page(pages)
+    index = positions_by_page(pages) if positions is None else positions
     by_pivot: dict[int, OutstandingStream] = {}
     for p, vpn in enumerate(pages):
         forward = [q for q in index.get(vpn + 1, ()) if q > p]
@@ -93,3 +115,19 @@ def find_outstanding_streams(pages: Sequence[int], dmax: int) -> list[Outstandin
             by_pivot[pivot] = OutstandingStream(stride=d, end_index=q, pivot=pivot)
     # Deterministic order: by endpoint position, then stride.
     return sorted(by_pivot.values(), key=lambda s: (s.end_index, s.stride))
+
+
+def analyze_window(
+    pages: Sequence[int], dmax: int
+) -> tuple[dict[int, int], list[OutstandingStream]]:
+    """One-pass window analysis: ``(stride_counts, outstanding_streams)``.
+
+    Builds the page-position index exactly once and feeds it to both
+    scans — the full-window equivalent of what the per-fault path gets
+    from :class:`repro.core.incremental.IncrementalWindow`.
+    """
+    index = positions_by_page(pages)
+    return (
+        stride_counts(pages, dmax, positions=index),
+        find_outstanding_streams(pages, dmax, positions=index),
+    )

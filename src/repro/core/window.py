@@ -7,6 +7,13 @@ window is full the oldest entry is discarded.  Consecutive repeated
 references to the same page are a form of temporal locality and are counted
 as a single reference (``r_p != r_{p+1}``), so a repeat of the newest entry
 is not recorded.
+
+This is the *naive reference* window: it stores only the raw deques and
+derives everything on demand.  The per-fault hot path uses
+:class:`repro.core.incremental.IncrementalWindow`, which implements the
+identical recording semantics plus incrementally maintained stride/stream
+state; the hypothesis suite in ``tests/core/test_incremental.py`` pins the
+two to each other under arbitrary push/evict sequences.
 """
 
 from __future__ import annotations

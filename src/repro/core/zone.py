@@ -58,6 +58,44 @@ def dependent_zone_size(
     return max(min_pages, min(int(n), max_pages))
 
 
+def readahead_fallback(last_page: int, n: int, address_limit: int) -> list[int]:
+    """The no-outstanding-stream fallback: the ``n`` pages after the last
+    referenced page, imitating Linux's read-ahead (section 3.4)."""
+    return list(range(last_page + 1, min(last_page + 1 + n, address_limit)))
+
+
+def select_from_streams(
+    streams: Sequence[OutstandingStream], n: int, address_limit: int
+) -> list[int]:
+    """Split the quota of ``n`` pages over the outstanding streams' pivots.
+
+    Each pivot walks forward collecting its ``N/m`` share; pages another
+    stream already claimed cost nothing ("saved quota").  Walks truncate
+    at ``address_limit`` without reassigning the unspent quota.
+    """
+    m = len(streams)
+    if m == 1:
+        # Single stream: the whole quota walks forward from its pivot with
+        # nothing to dedup against — a plain range.
+        pivot = streams[0].pivot
+        return list(range(pivot, min(pivot + n, address_limit)))
+    selected: list[int] = []
+    chosen: set[int] = set()
+    base, remainder = divmod(n, m)
+    for i, stream in enumerate(streams):
+        quota = base + (1 if i < remainder else 0)
+        vpn = stream.pivot
+        while quota > 0 and vpn < address_limit:
+            if vpn not in chosen:
+                chosen.add(vpn)
+                selected.append(vpn)
+                quota -= 1
+            # Saved quota: a page another stream already claimed costs
+            # nothing; keep walking forward.
+            vpn += 1
+    return selected
+
+
 def select_dependent_pages(
     window_pages: Sequence[int],
     n: int,
@@ -77,26 +115,6 @@ def select_dependent_pages(
         return []
     if streams is None:
         streams = find_outstanding_streams(window_pages, dmax)
-    selected: list[int] = []
-    chosen: set[int] = set()
     if not streams:
-        # Read-ahead fallback: the N pages after the last reference.
-        last = window_pages[-1]
-        for vpn in range(last + 1, min(last + 1 + n, address_limit)):
-            selected.append(vpn)
-        return selected
-
-    m = len(streams)
-    base, remainder = divmod(n, m)
-    for i, stream in enumerate(streams):
-        quota = base + (1 if i < remainder else 0)
-        vpn = stream.pivot
-        while quota > 0 and vpn < address_limit:
-            if vpn not in chosen:
-                chosen.add(vpn)
-                selected.append(vpn)
-                quota -= 1
-            # Saved quota: a page another stream already claimed costs
-            # nothing; keep walking forward.
-            vpn += 1
-    return selected
+        return readahead_fallback(window_pages[-1], n, address_limit)
+    return select_from_streams(streams, n, address_limit)

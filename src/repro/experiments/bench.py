@@ -1,0 +1,169 @@
+"""Wall-clock throughput benchmark harness (``repro bench``).
+
+Mirrors the four cases of ``benchmarks/bench_simulator_throughput.py`` —
+the simulation engine's hot paths — but measures them with plain
+``time.perf_counter`` so the harness runs anywhere (CI smoke jobs, dev
+boxes without pytest-benchmark) and emits a machine-readable JSON record.
+
+Each case reports its best-of-N wall time plus a *score*: the wall time
+divided by a small pure-Python calibration loop timed on the same machine
+in the same process.  Scores factor out much of the host's raw speed, so a
+committed baseline (``benchmarks/baselines/BENCH_throughput.json``) can
+gate regressions across heterogeneous CI runners; ``repro bench
+--against <baseline>`` exits non-zero when any case's score exceeds the
+baseline by more than ``--max-regression`` (default 25%).
+
+Absolute times on different machines are still not comparable — only
+scores are, and even those are a smoke test, not a microbenchmark.  For
+careful measurements use ``pytest benchmarks/bench_simulator_throughput.py
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..cluster.runner import MigrationRun
+from ..migration.ampom import AmpomMigration
+from ..migration.executor import ExecutionResult
+from ..migration.noprefetch import NoPrefetchMigration
+from ..migration.openmosix import OpenMosixMigration
+from ..units import mib
+from ..workloads.synthetic import SequentialWorkload, UniformRandomWorkload
+
+#: Bump when the JSON shape or the case set changes meaning.
+BENCH_FORMAT = 1
+
+#: Default output path, relative to the current working directory.
+DEFAULT_OUT = Path("benchmarks") / "results" / "BENCH_throughput.json"
+
+#: Committed baseline used by the CI regression gate.
+DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "BENCH_throughput.json"
+
+#: Allowed slowdown of a case's score vs the baseline before failing.
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def _run_local_fast() -> ExecutionResult:
+    w = SequentialWorkload(mib(8), sweeps=4)
+    return MigrationRun(w, OpenMosixMigration()).execute()
+
+
+def _run_demand_paging() -> ExecutionResult:
+    w = SequentialWorkload(mib(4))
+    return MigrationRun(w, NoPrefetchMigration()).execute()
+
+
+def _run_ampom_pipeline() -> ExecutionResult:
+    w = SequentialWorkload(mib(4), sweeps=2)
+    return MigrationRun(w, AmpomMigration()).execute()
+
+
+def _run_random_faults() -> ExecutionResult:
+    w = UniformRandomWorkload(mib(8), n_references=8192)
+    return MigrationRun(w, AmpomMigration()).execute()
+
+
+#: name -> zero-argument runner; the same workloads as the pytest cases.
+CASES: dict[str, Callable[[], ExecutionResult]] = {
+    "local_fast": _run_local_fast,
+    "demand_paging": _run_demand_paging,
+    "ampom_pipeline": _run_ampom_pipeline,
+    "random_faults": _run_random_faults,
+}
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Best-of-N time of a fixed pure-Python loop, the score denominator."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(200_000):
+            acc += i & 7
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    # Guard against a pathological zero on very coarse clocks.
+    return max(best, 1e-9)
+
+
+def time_case(fn: Callable[[], object], repeats: int) -> list[float]:
+    """Wall-time ``fn`` ``repeats`` times; returns every measurement."""
+    times: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def run_bench(repeats: int = 5, cases: dict[str, Callable[[], object]] | None = None) -> dict:
+    """Run every case; return the JSON-ready result record."""
+    if cases is None:
+        cases = CASES
+    calibration_s = calibrate()
+    record: dict = {
+        "format": BENCH_FORMAT,
+        "repeats": repeats,
+        "calibration_s": calibration_s,
+        "cases": {},
+    }
+    for name, fn in cases.items():
+        fn()  # one warm-up run outside the measurement
+        times = time_case(fn, repeats)
+        best = min(times)
+        record["cases"][name] = {
+            "min_s": best,
+            "mean_s": sum(times) / len(times),
+            "times_s": times,
+            "score": best / calibration_s,
+        }
+    return record
+
+
+def compare(current: dict, baseline: dict, max_regression: float = DEFAULT_MAX_REGRESSION) -> list[str]:
+    """Regression report: one line per case whose score regressed too far.
+
+    Only cases present in both records are compared (so adding a case does
+    not break an older baseline).  An empty list means the gate passes.
+    """
+    breaches: list[str] = []
+    base_cases = baseline.get("cases", {})
+    for name, cur in current.get("cases", {}).items():
+        base = base_cases.get(name)
+        if base is None:
+            continue
+        allowed = base["score"] * (1.0 + max_regression)
+        if cur["score"] > allowed:
+            slowdown = cur["score"] / base["score"]
+            breaches.append(
+                f"{name}: score {cur['score']:.1f} vs baseline {base['score']:.1f} "
+                f"({slowdown:.2f}x, limit {1.0 + max_regression:.2f}x)"
+            )
+    return breaches
+
+
+def write_record(record: dict, out: Path | str = DEFAULT_OUT) -> Path:
+    """Serialize a bench record to ``out`` (creating parent directories)."""
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+__all__ = [
+    "BENCH_FORMAT",
+    "CASES",
+    "DEFAULT_BASELINE",
+    "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_OUT",
+    "calibrate",
+    "compare",
+    "run_bench",
+    "time_case",
+    "write_record",
+]

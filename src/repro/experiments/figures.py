@@ -99,21 +99,38 @@ class FigureMatrix:
         ]
 
 
+def _matrix_cell(
+    cell: tuple[str, int, str, float, SimulationConfig | None],
+) -> ExecutionResult:
+    """One (kernel, size, scheme) run, unpacked from a picklable tuple."""
+    kernel, memory_mb, scheme, scale, config = cell
+    return run_one(kernel, memory_mb, scheme, scale=scale, config=config)
+
+
 def run_matrix(
     kernels: tuple[str, ...] = KERNELS,
     schemes: tuple[str, ...] = SCHEMES,
     scale: float = DEFAULT_SCALE,
     config: SimulationConfig | None = None,
+    jobs: int | str | None = None,
 ) -> FigureMatrix:
-    """The full sweep behind figures 5, 6, 7, 8, and 11."""
-    results: dict[tuple[str, int, str], ExecutionResult] = {}
-    for kernel in kernels:
-        for memory_mb in kernel_sizes_mb(kernel):
-            for scheme in schemes:
-                results[(kernel, memory_mb, scheme)] = run_one(
-                    kernel, memory_mb, scheme, scale=scale, config=config
-                )
-    return FigureMatrix(scale=scale, results=results)
+    """The full sweep behind figures 5, 6, 7, 8, and 11.
+
+    Every cell is a fully pinned independent run, so ``jobs`` fans them
+    across worker processes (:func:`repro.cluster.parallel.parallel_map`)
+    with bit-identical results at any width.
+    """
+    from ..cluster.parallel import parallel_map
+
+    keys = [
+        (kernel, memory_mb, scheme)
+        for kernel in kernels
+        for memory_mb in kernel_sizes_mb(kernel)
+        for scheme in schemes
+    ]
+    cells = [(k, mb, s, scale, config) for (k, mb, s) in keys]
+    outcomes = parallel_map(_matrix_cell, cells, jobs=jobs)
+    return FigureMatrix(scale=scale, results=dict(zip(keys, outcomes)))
 
 
 # ----------------------------------------------------------------------
@@ -140,17 +157,37 @@ def freeze_time(
     return run.measure_freeze().freeze_time
 
 
+def _freeze_cell(cell: tuple[str, int, str, SimulationConfig | None]) -> float:
+    """One freeze-time measurement, unpacked from a picklable tuple."""
+    kernel, mb, scheme, config = cell
+    return freeze_time(kernel, mb, scheme, config=config)
+
+
 def figure5_full_scale(
     kernels: tuple[str, ...] = KERNELS,
     schemes: tuple[str, ...] = SCHEMES,
     config: SimulationConfig | None = None,
+    jobs: int | str | None = None,
 ) -> dict[str, dict[str, list[tuple[int, float]]]]:
-    """Figure 5 at the paper's actual program sizes (freeze-only runs)."""
+    """Figure 5 at the paper's actual program sizes (freeze-only runs).
+
+    The full-size freeze runs are the slowest sweep in the suite; ``jobs``
+    fans the independent cells across worker processes.
+    """
+    from ..cluster.parallel import parallel_map
+
+    keys = [
+        (kernel, scheme, mb)
+        for kernel in kernels
+        for scheme in schemes
+        for mb in kernel_sizes_mb(kernel)
+    ]
+    cells = [(kernel, mb, scheme, config) for (kernel, scheme, mb) in keys]
+    freezes = dict(zip(keys, parallel_map(_freeze_cell, cells, jobs=jobs)))
     return {
         kernel: {
             scheme: [
-                (mb, freeze_time(kernel, mb, scheme, config=config))
-                for mb in kernel_sizes_mb(kernel)
+                (mb, freezes[(kernel, scheme, mb)]) for mb in kernel_sizes_mb(kernel)
             ]
             for scheme in schemes
         }

@@ -13,8 +13,9 @@ Each page of a migrated process is in exactly one state:
     Still stored at the origin node.
 
 The tracker is the hot data structure of the simulation: the executor's
-inner loop does one ``vpn in mapped`` set probe per page reference, so the
-mapped set is exposed directly.
+inner loop does one ``vpn in mapped`` set probe per page reference, and the
+prefetch policies filter their dependent zones with one ``p in remote_set``
+probe per candidate page, so both sets are exposed directly.
 """
 
 from __future__ import annotations
@@ -32,37 +33,47 @@ class ResidencyTracker:
         #: Pages present in the address space.  Exposed for the executor's
         #: fast path; treat as read-only outside this class.
         self.mapped: set[int] = set(mapped_pages)
-        self._remote: set[int] = set(remote_pages)
-        overlap = self.mapped & self._remote
+        #: Pages still stored at the origin.  Exposed for the prefetch
+        #: policies' dependent-zone filters; treat as read-only outside
+        #: this class.
+        self.remote_set: set[int] = set(remote_pages)
+        overlap = self.mapped & self.remote_set
         if overlap:
             raise MemoryStateError(f"pages both mapped and remote: {sorted(overlap)[:5]}")
-        self._buffered: set[int] = set()
-        self._in_flight: dict[int, float] = {}
+        #: Arrived-but-not-yet-copied pages; exposed (read-only) for the
+        #: executor's copy-step gate.
+        self.buffered_set: set[int] = set()
+        #: vpn -> expected arrival time for requested pages; exposed
+        #: (read-only) for the executor's fault classification.
+        self.in_flight_map: dict[int, float] = {}
         self._arrival_heap: list[tuple[float, int]] = []
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    # The three views below are live and must be treated as read-only;
+    # returning them directly keeps the per-fault membership probes on the
+    # executor's path O(1) instead of copying a frozenset per call.
     @property
-    def remote(self) -> frozenset[int]:
-        return frozenset(self._remote)
+    def remote(self):
+        return self.remote_set
 
     @property
-    def buffered(self) -> frozenset[int]:
-        return frozenset(self._buffered)
+    def buffered(self):
+        return self.buffered_set
 
     @property
-    def in_flight(self) -> frozenset[int]:
-        return frozenset(self._in_flight)
+    def in_flight(self):
+        return self.in_flight_map.keys()
 
     def is_local_or_pending(self, vpn: int) -> bool:
         """True if the page needs no new request (Algorithm 1's "stored
         locally" test also skips pages already on the wire)."""
-        return vpn in self.mapped or vpn in self._buffered or vpn in self._in_flight
+        return vpn in self.mapped or vpn in self.buffered_set or vpn in self.in_flight_map
 
     def is_remote(self, vpn: int) -> bool:
         """True if the page is stored at the origin and may be requested."""
-        return vpn in self._remote
+        return vpn in self.remote_set
 
     @property
     def n_mapped(self) -> int:
@@ -70,19 +81,19 @@ class ResidencyTracker:
 
     @property
     def n_remote(self) -> int:
-        return len(self._remote)
+        return len(self.remote_set)
 
     @property
     def n_in_flight(self) -> int:
-        return len(self._in_flight)
+        return len(self.in_flight_map)
 
     @property
     def n_buffered(self) -> int:
-        return len(self._buffered)
+        return len(self.buffered_set)
 
     def arrival_time(self, vpn: int) -> float:
         try:
-            return self._in_flight[vpn]
+            return self.in_flight_map[vpn]
         except KeyError:
             raise MemoryStateError(f"page {vpn} is not in flight")
 
@@ -95,16 +106,16 @@ class ResidencyTracker:
         """
         return {
             "mapped": set(self.mapped),
-            "buffered": set(self._buffered),
-            "in_flight": set(self._in_flight),
-            "remote": set(self._remote),
+            "buffered": set(self.buffered_set),
+            "in_flight": set(self.in_flight_map),
+            "remote": set(self.remote_set),
         }
 
     @property
     def total_pages(self) -> int:
         """Pages currently tracked, across all four states."""
         return (
-            len(self.mapped) + len(self._buffered) + len(self._in_flight) + len(self._remote)
+            len(self.mapped) + len(self.buffered_set) + len(self.in_flight_map) + len(self.remote_set)
         )
 
     # ------------------------------------------------------------------
@@ -119,10 +130,10 @@ class ResidencyTracker:
         :meth:`update_arrival` or the page is returned to REMOTE via
         :meth:`write_off_lost`.
         """
-        if vpn not in self._remote:
+        if vpn not in self.remote_set:
             raise MemoryStateError(f"page {vpn} is not remote; cannot fetch it")
-        self._remote.remove(vpn)
-        self._in_flight[vpn] = arrival
+        self.remote_set.remove(vpn)
+        self.in_flight_map[vpn] = arrival
         heapq.heappush(self._arrival_heap, (arrival, vpn))
 
     def update_arrival(self, vpn: int, arrival: float) -> None:
@@ -130,11 +141,11 @@ class ResidencyTracker:
         beat the original).  A later arrival than the recorded one is
         ignored — the earlier copy wins."""
         try:
-            current = self._in_flight[vpn]
+            current = self.in_flight_map[vpn]
         except KeyError:
             raise MemoryStateError(f"page {vpn} is not in flight")
         if arrival < current:
-            self._in_flight[vpn] = arrival
+            self.in_flight_map[vpn] = arrival
             heapq.heappush(self._arrival_heap, (arrival, vpn))
 
     def write_off_lost(self, keep: Iterable[int] = ()) -> list[int]:
@@ -146,12 +157,12 @@ class ResidencyTracker:
         keep = set(keep)
         lost = sorted(
             vpn
-            for vpn, arrival in self._in_flight.items()
+            for vpn, arrival in self.in_flight_map.items()
             if arrival == float("inf") and vpn not in keep
         )
         for vpn in lost:
-            del self._in_flight[vpn]
-            self._remote.add(vpn)
+            del self.in_flight_map[vpn]
+            self.remote_set.add(vpn)
         return lost
 
     def absorb_arrivals(self, now: float) -> int:
@@ -165,25 +176,25 @@ class ResidencyTracker:
         heap = self._arrival_heap
         while heap and heap[0][0] <= now:
             arrival, vpn = heapq.heappop(heap)
-            if self._in_flight.get(vpn) != arrival:
+            if self.in_flight_map.get(vpn) != arrival:
                 continue  # stale entry: rescheduled or written off
-            del self._in_flight[vpn]
-            self._buffered.add(vpn)
+            del self.in_flight_map[vpn]
+            self.buffered_set.add(vpn)
             n += 1
         return n
 
     def map_buffered(self) -> list[int]:
         """BUFFERED -> MAPPED for every buffered page (the copy step of
         Algorithm 1).  Returns the pages that were copied."""
-        copied = list(self._buffered)
-        self.mapped.update(self._buffered)
-        self._buffered.clear()
+        copied = list(self.buffered_set)
+        self.mapped.update(self.buffered_set)
+        self.buffered_set.clear()
         return copied
 
     def map_created(self, vpn: int) -> None:
         """A page freshly created by the migrant (never remote)."""
-        if vpn in self.mapped or vpn in self._buffered or vpn in self._in_flight or (
-            vpn in self._remote
+        if vpn in self.mapped or vpn in self.buffered_set or vpn in self.in_flight_map or (
+            vpn in self.remote_set
         ):
             raise MemoryStateError(f"page {vpn} already exists; cannot create it")
         self.mapped.add(vpn)
@@ -194,4 +205,4 @@ class ResidencyTracker:
             self.mapped.remove(vpn)
         except KeyError:
             raise MemoryStateError(f"page {vpn} is not mapped")
-        self._remote.add(vpn)
+        self.remote_set.add(vpn)

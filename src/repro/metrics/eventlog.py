@@ -1,10 +1,9 @@
 """Optional per-fault event log for debugging and analysis.
 
 When attached to a :class:`repro.migration.executor.MigrantExecutor`, the
-log records one entry per fault (time, page, kind, prefetch count, stall),
-backed by growable column lists so the overhead stays small.  Query
-helpers slice the log by kind and compute simple summaries — handy when
-developing a new prefetch policy against the simulator.
+log records one entry per fault (time, page, kind, prefetch count, stall).
+Recording sits on the executor's fault path, so the write side is a single
+tuple append per fault; the query helpers unpack into columns on demand.
 """
 
 from __future__ import annotations
@@ -28,61 +27,55 @@ class FaultEvent:
 
 
 class FaultLog:
-    """Columnar log of every fault of one execution."""
+    """Row-buffered log of every fault of one execution.
+
+    Each fault appends one ``(time, vpn, kind, prefetched, stall)`` tuple —
+    the cheapest write the interpreter offers — and the analysis helpers
+    (:meth:`times`, :meth:`vpns`, :meth:`summary`, ...) derive what they
+    need from the rows when asked.
+    """
+
+    __slots__ = ("_rows",)
 
     def __init__(self) -> None:
-        self._times: list[float] = []
-        self._vpns: list[int] = []
-        self._kinds: list[FaultKind] = []
-        self._prefetched: list[int] = []
-        self._stalls: list[float] = []
+        self._rows: list[tuple[float, int, FaultKind, int, float]] = []
 
     def __len__(self) -> int:
-        return len(self._times)
+        return len(self._rows)
 
     def record(
         self, time: float, vpn: int, kind: FaultKind, prefetched: int, stall: float
     ) -> None:
-        self._times.append(time)
-        self._vpns.append(vpn)
-        self._kinds.append(kind)
-        self._prefetched.append(prefetched)
-        self._stalls.append(stall)
+        self._rows.append((time, vpn, kind, prefetched, stall))
 
     # ------------------------------------------------------------------
     def __getitem__(self, i: int) -> FaultEvent:
-        return FaultEvent(
-            self._times[i],
-            self._vpns[i],
-            self._kinds[i],
-            self._prefetched[i],
-            self._stalls[i],
-        )
+        return FaultEvent(*self._rows[i])
 
     def events(self, kind: FaultKind | None = None):
         """Iterate events, optionally filtered by fault kind."""
-        for i in range(len(self)):
-            if kind is None or self._kinds[i] is kind:
-                yield self[i]
+        for row in self._rows:
+            if kind is None or row[2] is kind:
+                yield FaultEvent(*row)
 
     def count(self, kind: FaultKind) -> int:
-        return sum(1 for k in self._kinds if k is kind)
+        return sum(1 for row in self._rows if row[2] is kind)
 
     def times(self) -> np.ndarray:
-        return np.asarray(self._times)
+        return np.asarray([row[0] for row in self._rows])
 
     def vpns(self) -> np.ndarray:
-        return np.asarray(self._vpns, dtype=np.int64)
+        return np.asarray([row[1] for row in self._rows], dtype=np.int64)
 
     def total_stall(self) -> float:
-        return float(sum(self._stalls))
+        return float(sum(row[4] for row in self._rows))
 
     def fault_rate(self) -> float:
         """Mean faults/second over the logged span."""
-        if len(self._times) < 2:
+        if len(self._rows) < 2:
             return 0.0
-        span = self._times[-1] - self._times[0]
-        return len(self._times) / span if span > 0 else 0.0
+        span = self._rows[-1][0] - self._rows[0][0]
+        return len(self._rows) / span if span > 0 else 0.0
 
     def summary(self) -> dict[str, float]:
         return {
@@ -93,5 +86,5 @@ class FaultLog:
             "creates": float(self.count(FaultKind.MINOR_CREATE)),
             "total_stall_s": self.total_stall(),
             "fault_rate_hz": self.fault_rate(),
-            "prefetched_pages": float(sum(self._prefetched)),
+            "prefetched_pages": float(sum(row[3] for row in self._rows)),
         }

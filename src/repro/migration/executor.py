@@ -152,6 +152,20 @@ class MigrantExecutor:
         self._window_wraps_seen = 0
         self._holds_cpu = False
 
+        # Per-fault policy metadata and hot-path aliases, resolved once
+        # (the outcome's fields and the policy never change during a run).
+        policy = outcome.policy
+        self._policy_needs_conditions = (
+            getattr(policy, "needs_conditions", True) if policy is not None else False
+        )
+        self._policy_window = getattr(policy, "window", None)
+        self._policy = policy
+        self._analysis_time = policy.analysis_time if policy is not None else 0.0
+        self._res = outcome.residency
+        self._mpt = outcome.mpt
+        self._service = outcome.page_service
+        self._cpu = node.cpu
+
         # Optional destination-memory pressure model (the paper ignores
         # memory pressure; see DESIGN.md section 6).  Evicted pages are
         # written back to the origin node and can be re-fetched.
@@ -203,6 +217,7 @@ class MigrantExecutor:
         res = self.outcome.residency
         mapped = res.mapped  # direct reference: the hot-path set
         cpu = self.node.cpu
+        budget = self.budget
         creates = self.workload.creates_pages
         start_time = sim.now
         self._last_fault_time = start_time
@@ -221,9 +236,9 @@ class MigrantExecutor:
                 if (
                     self._lru is None
                     and not creates
-                    and res.n_remote == 0
-                    and res.n_in_flight == 0
-                    and res.n_buffered == 0
+                    and not res.remote_set
+                    and not res.in_flight_map
+                    and not res.buffered_set
                 ):
                     yield from self._compute(chunk.total_compute)
                     continue
@@ -236,12 +251,23 @@ class MigrantExecutor:
                         acc += work
                         continue
                     if acc > 0.0:
-                        yield from self._compute(acc)
+                        # _compute, inlined: the fault path runs it before
+                        # and after every fault, so the generator hop is
+                        # worth spelling out.
+                        wall = acc * cpu.stretch()
+                        yield Timeout(wall)
+                        budget.compute += wall
+                        cpu.charge(acc)
+                        self._compute_since_fault += acc
                         acc = 0.0
                     yield from self._fault(vpn)
                     acc += work
                 if acc > 0.0:
-                    yield from self._compute(acc)
+                    wall = acc * cpu.stretch()
+                    yield Timeout(wall)
+                    budget.compute += wall
+                    cpu.charge(acc)
+                    self._compute_since_fault += acc
         finally:
             self._release_cpu()
         run_time = sim.now - start_time
@@ -307,7 +333,7 @@ class MigrantExecutor:
         """Consume ``cpu_work`` seconds of CPU under the current load."""
         wall = cpu_work * self.node.cpu.stretch()
         yield Timeout(wall)
-        self.budget.add("compute", wall)
+        self.budget.compute += wall
         self.node.cpu.charge(cpu_work)
         self._compute_since_fault += cpu_work
 
@@ -316,19 +342,20 @@ class MigrantExecutor:
         copied = res.map_buffered()
         if not copied:
             return
-        mpt = self.outcome.mpt
+        mpt = self._mpt
         for vpn in copied:
             mpt.mark_local(vpn)
             if self._lru is not None:
                 self._insert_resident(vpn)
         self.counters.pages_copied += len(copied)
-        wall = len(copied) * self.hardware.page_copy_time * self.node.cpu.stretch()
+        wall = len(copied) * self.hardware.page_copy_time * self._cpu.stretch()
         yield Timeout(wall)
-        self.budget.add("copy", wall)
+        self.budget.copy += wall
 
     def _fault(self, vpn: int):
         sim = self.sim
-        res = self.outcome.residency
+        res = self._res
+        cpu = self._cpu
         now = sim.now
 
         # C_i: CPU share consumed since the previous fault.
@@ -336,44 +363,55 @@ class MigrantExecutor:
         if elapsed > 1e-12:
             cpu_sample = min(self._compute_since_fault / elapsed, 1.0)
         else:
-            cpu_sample = self.node.cpu.share()
+            cpu_sample = cpu.share()
 
-        # Step 1 of Algorithm 1: copy arrived prefetched pages in.
-        res.absorb_arrivals(now)
-        yield from self._copy_buffered(res)
+        # Step 1 of Algorithm 1: copy arrived prefetched pages in.  The
+        # copy generator is only entered when something is buffered — an
+        # empty copy yields nothing, so skipping it is event-identical —
+        # and arrivals can only be absorbed when something is in flight
+        # (stale heap entries drain lazily on the next live absorb).
+        if res.in_flight_map:
+            res.absorb_arrivals(now)
+            if res.buffered_set:
+                yield from self._copy_buffered(res)
+        elif res.buffered_set:
+            yield from self._copy_buffered(res)
 
         # Classify the fault.
+        counters = self.counters
         if vpn in res.mapped:
             kind = FaultKind.MINOR_BUFFERED
-            self.counters.minor_buffered_faults += 1
-        elif vpn in res.in_flight:
+            counters.minor_buffered_faults += 1
+        elif vpn in res.in_flight_map:
             kind = FaultKind.IN_FLIGHT_WAIT
-            self.counters.inflight_waits += 1
-        elif res.is_remote(vpn):
+            counters.inflight_waits += 1
+        elif vpn in res.remote_set:
             kind = FaultKind.MAJOR
-            self.counters.major_faults += 1
+            counters.major_faults += 1
         else:
             kind = FaultKind.MINOR_CREATE
-            self.counters.create_faults += 1
+            counters.create_faults += 1
 
-        # Steps 2-4: record, analyse, decide the prefetch set.
-        policy = self.outcome.policy
+        # Steps 2-4: record, analyse, decide the prefetch set.  A policy
+        # that never reads the link snapshot (demand paging, fixed
+        # read-ahead) spares the oM_infoD sampling call entirely.
+        policy = self._policy
         prefetch: list[int] = []
         if policy is not None:
-            prefetch = policy.on_fault(
-                vpn, sim.now, cpu_sample, res, self._conditions()
-            )
+            conditions = self._conditions() if self._policy_needs_conditions else None
+            prefetch = policy.on_fault(vpn, sim.now, cpu_sample, res, conditions)
             if self._degraded:
                 # Deputy believed down: demand-only paging until a reply
                 # gets through again (the zone quota the policy spent on
                 # these pages is returned — they stay REMOTE).
                 prefetch = []
-            if policy.analysis_time > 0.0:
-                wall = policy.analysis_time * self.node.cpu.stretch()
+            analysis_time = self._analysis_time
+            if analysis_time > 0.0:
+                wall = analysis_time * cpu.stretch()
                 yield Timeout(wall)
-                self.budget.add("analysis", wall)
-                self.node.cpu.charge(policy.analysis_time)
-            window = getattr(policy, "window", None)
+                self.budget.analysis += wall
+                cpu.charge(analysis_time)
+            window = self._policy_window
             if (
                 window is not None
                 and self.infod is not None
@@ -382,46 +420,55 @@ class MigrantExecutor:
                 self._window_wraps_seen = window.wraps
                 self.infod.on_window_wrap()
 
-        self._last_fault_time = sim.now
+        # No yields between here and the stall computation, so sim.now is
+        # pinned for the rest of the request/resolve steps.
+        t_req = sim.now
+        self._last_fault_time = t_req
         self._compute_since_fault = 0.0
 
         # Step 5: send the paging request.
-        service = self.outcome.page_service
+        service = self._service
         demand_seq: int | None = None
+        demand_arrival = -1.0
         if kind is FaultKind.MAJOR:
-            self.counters.demand_requests += 1
-            self.counters.pages_demand_fetched += 1
-            self.counters.pages_prefetched += len(prefetch)
+            counters.demand_requests += 1
+            counters.pages_demand_fetched += 1
+            counters.pages_prefetched += len(prefetch)
             if self.checker is not None:
                 self.checker.on_request([vpn], prefetch)
             if self._reliable:
                 demand_seq = service.next_seq()
-                arrivals = service.request([vpn], prefetch, sim.now, seq=demand_seq)
+                arrivals = service.request([vpn], prefetch, t_req, seq=demand_seq)
                 self._register_fetches(arrivals)
             else:
-                arrivals = service.request([vpn], prefetch, sim.now)
+                arrivals = service.request([vpn], prefetch, t_req)
+                fetched = self._fetched
                 for page, t in arrivals.items():
                     res.start_fetch(page, t)
-                    self._fetched.add(page)
+                    fetched.add(page)
+                # The demanded page's arrival is already in hand; no yields
+                # occur before the stall computation reads it.
+                demand_arrival = arrivals[vpn]
         elif prefetch:
-            self.counters.prefetch_requests += 1
-            self.counters.pages_prefetched += len(prefetch)
+            counters.prefetch_requests += 1
+            counters.pages_prefetched += len(prefetch)
             if self.checker is not None:
                 self.checker.on_request([], prefetch)
             if self._reliable:
-                arrivals = service.request([], prefetch, sim.now, seq=service.next_seq())
+                arrivals = service.request([], prefetch, t_req, seq=service.next_seq())
                 self._register_fetches(arrivals)
             else:
-                arrivals = service.request([], prefetch, sim.now)
+                arrivals = service.request([], prefetch, t_req)
+                fetched = self._fetched
                 for page, t in arrivals.items():
                     res.start_fetch(page, t)
-                    self._fetched.add(page)
+                    fetched.add(page)
 
         # Step 6: resolve the faulting page.
         stall = 0.0
         if kind is FaultKind.MINOR_CREATE:
             res.map_created(vpn)
-            self.outcome.mpt.record_creation(vpn)
+            self._mpt.record_creation(vpn)
             if self._lru is not None:
                 self._insert_resident(vpn)
         elif kind in (FaultKind.MAJOR, FaultKind.IN_FLIGHT_WAIT):
@@ -429,15 +476,18 @@ class MigrantExecutor:
                 yield from self._await_page(vpn, demand_seq)
                 stall = self._await_stall
             else:
-                arrival = res.arrival_time(vpn)
-                stall = max(arrival - sim.now, 0.0)
+                arrival = demand_arrival if demand_arrival >= 0.0 else res.arrival_time(vpn)
+                stall = arrival - t_req
+                if stall < 0.0:
+                    stall = 0.0
                 if stall > 0.0:
                     self._release_cpu()
                     yield Timeout(stall)
                     self._acquire_cpu()
-                    self.budget.add("stall", stall)
+                    self.budget.stall += stall
                 res.absorb_arrivals(sim.now)
-                yield from self._copy_buffered(res)
+                if res.buffered_set:
+                    yield from self._copy_buffered(res)
         if self.fault_log is not None:
             self.fault_log.record(now, vpn, kind, len(prefetch), stall)
         if self.checker is not None:
@@ -486,7 +536,8 @@ class MigrantExecutor:
         attempt = 0
         while True:
             res.absorb_arrivals(sim.now)
-            yield from self._copy_buffered(res)
+            if res.buffered_set:
+                yield from self._copy_buffered(res)
             if vpn in res.mapped:
                 break
             arrival = res.arrival_time(vpn) if vpn in res.in_flight else math.inf
@@ -500,10 +551,11 @@ class MigrantExecutor:
                 self._release_cpu()
                 yield Timeout(wait)
                 self._acquire_cpu()
-                self.budget.add("stall", wait)
+                self.budget.stall += wait
                 self._await_stall += wait
             res.absorb_arrivals(sim.now)
-            yield from self._copy_buffered(res)
+            if res.buffered_set:
+                yield from self._copy_buffered(res)
             if vpn in res.mapped:
                 break
             if not timed:

@@ -125,14 +125,53 @@ class Deputy:
         carries a sequence ID (a retransmission), and is an error
         otherwise.
         """
-        ordered: list[int] = []
-        seen: set[int] = set()
-        for vpn in list(demand) + list(prefetch):
-            if vpn in seen:
-                self.duplicate_page_requests += 1
-                continue
-            seen.add(vpn)
-            ordered.append(vpn)
+        if len(demand) == 1 and not prefetch:
+            # The dominant request shape — one demand page, nothing else —
+            # takes a scalar path: no dedup possible, no page list to
+            # build, and the reply goes out as one transfer() call.  The
+            # arithmetic is the exact per-page sequence of the general
+            # path below, so arrival times are bit-identical.
+            vpn = demand[0]
+            if math.isinf(request_arrival):
+                return {vpn: math.inf}
+            if self.fault_plan is not None and self.fault_plan.deputy_down(request_arrival):
+                self._log_ignored(request_arrival, "pages=1")
+                return {vpn: math.inf}
+            if seq is not None and self._remember_seq(self._seen_seqs, seq):
+                self.duplicate_requests += 1
+            hw = self.hardware
+            start = max(request_arrival, self.busy_until)
+            clock = start + hw.deputy_request_time
+            if vpn in self.hpt:
+                self.hpt.release(vpn)
+                if self._replay_capacity > 0:
+                    self._remember_released(vpn)
+                self.pages_served += 1
+            elif seq is not None and vpn in self._replay_pages:
+                self.replayed_pages += 1
+            else:
+                raise MemoryStateError(
+                    f"page {vpn} requested but the origin no longer stores it"
+                )
+            clock += hw.deputy_page_time
+            self.busy_until = clock
+            self.requests_served += 1
+            end = self.reply_channel.transfer(
+                hw.page_size + hw.remote_paging_overhead_bytes, clock
+            )
+            return {vpn: end}
+        if len(demand) <= 1 and not prefetch:
+            # Empty or single-demand without prefetch: no duplicate possible.
+            ordered = list(demand)
+        else:
+            ordered = []
+            seen: set[int] = set()
+            for vpn in list(demand) + list(prefetch):
+                if vpn in seen:
+                    self.duplicate_page_requests += 1
+                    continue
+                seen.add(vpn)
+                ordered.append(vpn)
 
         if math.isinf(request_arrival):
             # The request was lost in the network: the deputy never saw it.
@@ -147,25 +186,34 @@ class Deputy:
         hw = self.hardware
         start = max(request_arrival, self.busy_until)
         clock = start + hw.deputy_request_time
-        arrivals: dict[int, float] = {}
+        page_dt = hw.deputy_page_time
+        hpt = self.hpt
+        remember = self._replay_capacity > 0
+        served = 0
+        release_times: list[float] = []
         for vpn in ordered:
-            if vpn in self.hpt:
-                self.hpt.release(vpn)
-                self._remember_released(vpn)
-                self.pages_served += 1
+            if vpn in hpt:
+                hpt.release(vpn)
+                if remember:
+                    self._remember_released(vpn)
+                served += 1
             elif seq is not None and vpn in self._replay_pages:
                 self.replayed_pages += 1
             else:
                 raise MemoryStateError(
                     f"page {vpn} requested but the origin no longer stores it"
                 )
-            clock += hw.deputy_page_time
-            arrivals[vpn] = self.reply_channel.transfer(
-                hw.page_size + hw.remote_paging_overhead_bytes, clock
-            )
+            clock += page_dt
+            release_times.append(clock)
+        self.pages_served += served
         self.busy_until = clock
         self.requests_served += 1
-        return arrivals
+        # One batched serialization pass over the reply channel — same
+        # per-page arithmetic as transfer(), paid for once per request.
+        ends = self.reply_channel.transfer_batch(
+            hw.page_size + hw.remote_paging_overhead_bytes, release_times
+        )
+        return dict(zip(ordered, ends))
 
     # ------------------------------------------------------------------
     def audit_ledger(self) -> None:

@@ -3,19 +3,22 @@
 Events are ordered by ``(time, sequence)``: ties in simulated time are
 broken by insertion order, which keeps runs fully deterministic for a given
 seed and schedule order.
+
+Hot-path layout: the heap stores plain ``(time, seq, event)`` tuples so
+ordering comparisons run on CPython's C tuple compare instead of a
+Python-level ``__lt__``; the :class:`Event` handle carries the callback and
+the cancellation flag.  This kernel fires one event per simulated fault
+step, so both the per-push allocation and the per-pop comparison count.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import SimulationError
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -31,10 +34,17 @@ class Event:
         Cancelled events stay in the heap but are skipped when popped.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time!r} seq={self.seq}{state}>"
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it is popped."""
@@ -42,34 +52,64 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of scheduled callbacks.
+
+    Heap entries are ``(time, seq, payload)`` tuples where the payload is
+    either an :class:`Event` handle (cancellable, returned by
+    :meth:`push`) or a bare zero-argument callable (:meth:`push_callback`
+    — no handle, never cancelled).  The bare form exists for the hottest
+    event in every run, the process Timeout wake-up, which is fired
+    exactly once: skipping the Event allocation there saves one object
+    per simulated event.  Both forms share the one ``seq`` counter, so
+    the deterministic firing order is unaffected by which is used.
+    """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: Heap entries are ``(time, seq, payload)`` tuples; exposed to
+        #: the kernel's run loop, which pops inline.  Treat as private
+        #: elsewhere.
+        self._heap: list[tuple[float, int, "Event | Callable[[], None]"]] = []
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute ``time`` and return its event."""
-        event = Event(time=time, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
-    def pop(self) -> Event:
-        """Remove and return the earliest non-cancelled event.
+    def push_callback(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``time`` with no cancellation handle."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback))
+
+    def pop(self) -> Event | Callable[[], None]:
+        """Remove and return the earliest live payload (an :class:`Event`
+        or a bare callback).
 
         Raises :class:`SimulationError` when no live event remains.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            payload = heapq.heappop(heap)[2]
+            if payload.__class__ is not Event or not payload.cancelled:
+                return payload
         raise SimulationError("pop from an empty event queue")
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            payload = heap[0][2]
+            if payload.__class__ is Event and payload.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None

@@ -1,7 +1,17 @@
-"""The discrete-event simulator: clock, scheduling, and the run loop."""
+"""The discrete-event simulator: clock, scheduling, and the run loop.
+
+The run loop is the innermost loop of every experiment — one iteration per
+simulated event — so it is written against the heap's raw ``(time, seq,
+event)`` tuples with hoisted method lookups, and the observer dispatch is
+skipped entirely while no observer is registered (the common case; only
+``REPRO_CHECKS=1`` runs attach one).  ``step()`` keeps the readable
+one-event-at-a-time form for tests and interactive use; both paths fire
+events in the identical deterministic order.
+"""
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Callable, Generator
 
 from ..errors import SimulationError
@@ -29,15 +39,17 @@ class Simulator:
     [2.5]
     """
 
+    __slots__ = ("_now", "_queue", "_running", "_observers")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._running = False
-        self._processes: list["SimProcess"] = []
         #: Pure observers invoked after every fired event with the event
         #: time.  Observers must not schedule or mutate model state; the
         #: repro.check invariant checker uses this to audit clock
-        #: monotonicity and to count events.
+        #: monotonicity and to count events.  Kept empty on default runs so
+        #: the run loop can take the no-observer fast branch.
         self._observers: list[Callable[[float], None]] = []
 
     def add_observer(self, observer: Callable[[float], None]) -> None:
@@ -85,12 +97,14 @@ class Simulator:
 
         The generator may ``yield`` :class:`repro.sim.process.Timeout` or
         :class:`repro.sim.process.Completion` instances; the kernel resumes
-        it when the awaited condition is satisfied.
+        it when the awaited condition is satisfied.  The kernel holds no
+        reference to the process once spawned — finished processes are
+        reclaimed by ordinary garbage collection instead of accumulating
+        for the lifetime of the simulator.
         """
         from .process import SimProcess
 
         proc = SimProcess(self, generator, name=name)
-        self._processes.append(proc)
         proc._start()
         return proc
 
@@ -102,13 +116,17 @@ class Simulator:
         time = self._queue.peek_time()
         if time is None:
             return False
-        event = self._queue.pop()
-        if event.time < self._now:
+        payload = self._queue.pop()
+        if time < self._now:
             raise SimulationError("event heap yielded an event from the past")
-        self._now = event.time
-        event.callback()
-        for observer in self._observers:
-            observer(event.time)
+        self._now = time
+        if payload.__class__ is Event:
+            payload.callback()
+        else:
+            payload()
+        if self._observers:
+            for observer in self._observers:
+                observer(time)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -121,17 +139,32 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        observers = self._observers
         fired = 0
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+            while heap:
+                time, _seq, payload = heap[0]
+                is_event = payload.__class__ is Event
+                if is_event and payload.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None and time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
-                self.step()
+                heappop(heap)
+                if time < self._now:
+                    raise SimulationError("event heap yielded an event from the past")
+                self._now = time
+                if is_event:
+                    payload.callback()
+                else:
+                    payload()
+                if observers:
+                    for observer in observers:
+                        observer(time)
                 fired += 1
         finally:
             self._running = False
@@ -144,14 +177,35 @@ class Simulator:
         Raises :class:`SimulationError` if the heap drains with the process
         still alive (a deadlock in the modelled system).
         """
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        observers = self._observers
         fired = 0
         while not proc.finished:
             if max_events is not None and fired >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
-            if not self.step():
+            while heap:
+                time, _seq, payload = heap[0]
+                is_event = payload.__class__ is Event
+                if is_event and payload.cancelled:
+                    heappop(heap)
+                    continue
+                break
+            else:
                 raise SimulationError(
                     f"event queue drained but process {proc.name!r} never finished (deadlock)"
                 )
+            heappop(heap)
+            if time < self._now:
+                raise SimulationError("event heap yielded an event from the past")
+            self._now = time
+            if is_event:
+                payload.callback()
+            else:
+                payload()
+            if observers:
+                for observer in observers:
+                    observer(time)
             fired += 1
         if proc.error is not None:
             raise proc.error

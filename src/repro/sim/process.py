@@ -84,6 +84,8 @@ class Completion:
 class SimProcess:
     """A running cooperative process.  Created via :meth:`Simulator.spawn`."""
 
+    __slots__ = ("sim", "name", "_gen", "finished", "result", "error", "_joiners")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "process") -> None:
         self.sim = sim
         self.name = name
@@ -101,9 +103,10 @@ class SimProcess:
     # kernel-facing machinery
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        self.sim.schedule(0.0, lambda: self._resume(None))
+        sim = self.sim
+        sim._queue.push_callback(sim._now, self._resume)
 
-    def _resume(self, value: object) -> None:
+    def _resume(self, value: object = None) -> None:
         if self.finished:
             return
         try:
@@ -114,11 +117,21 @@ class SimProcess:
         except Exception as exc:  # noqa: BLE001 - surfaced via .error
             self._finish(None, exc)
             return
-        self._wait_on(condition)
+        # Dispatch ordered by frequency: Timeout is the hot wait condition
+        # (one per compute/stall slice), joins and completions are rare.
+        # The wake-up goes straight onto the event heap as a bare callback:
+        # Timeout.__init__ already rejected negative delays, the wake-up is
+        # fired exactly once (never cancelled), and the bound ``_resume``
+        # itself is the callback — ``value`` defaults to None.
+        if type(condition) is Timeout:
+            sim = self.sim
+            sim._queue.push_callback(sim._now + condition.delay, self._resume)
+        else:
+            self._wait_on(condition)
 
     def _wait_on(self, condition: object) -> None:
         if isinstance(condition, Timeout):
-            self.sim.schedule(condition.delay, lambda: self._resume(None))
+            self.sim.schedule(condition.delay, self._resume)
         elif isinstance(condition, Completion):
             condition._add_waiter(self)
         elif isinstance(condition, SimProcess):

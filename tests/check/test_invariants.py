@@ -71,7 +71,7 @@ class TestViolationsDetected:
     def test_duplicated_page_fails_disjointness(self):
         run = _checked_run()
         vpn = next(iter(run.outcome.residency.mapped))
-        run.outcome.residency._remote.add(vpn)
+        run.outcome.residency.remote_set.add(vpn)
         with pytest.raises(InvariantViolation) as exc:
             run.checker.deep_audit()
         assert exc.value.invariant in ("residency-disjointness", "hpt-split")

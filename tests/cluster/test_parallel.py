@@ -1,0 +1,115 @@
+"""The deterministic parallel fan-out (repro.cluster.parallel)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cluster.parallel import JOBS_ENV, parallel_map, resolve_jobs
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# Worker functions must be module-level so the pool can pickle them.
+def _square(x):
+    return x * x
+
+
+def _identify(x):
+    """(input, worker pid) — exposes that a cell ran out-of-process."""
+    import time
+
+    time.sleep(0.01)  # let every worker claim at least one cell
+    return (x, os.getpid())
+
+
+def _explode(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_variable_drives_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_count_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_auto_means_cpu_count(self):
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+        assert resolve_jobs("AUTO") == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-4) == (os.cpu_count() or 1)
+
+    def test_numeric_string(self):
+        assert resolve_jobs("5") == 5
+
+    def test_garbage_string_raises(self):
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+
+class TestParallelMap:
+    def test_sequential_fallback(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [5], jobs=4) == [25]
+
+    def test_accepts_any_iterable(self):
+        assert parallel_map(_square, range(4), jobs=1) == [0, 1, 4, 9]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_parallel_equals_sequential(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [
+            _square(i) for i in items
+        ]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_results_in_input_order_across_workers(self):
+        results = parallel_map(_identify, list(range(16)), jobs=4)
+        assert [x for x, _ in results] == list(range(16))
+        # The work really left this process (fanning to >1 worker is
+        # scheduler-dependent and not asserted).
+        assert os.getpid() not in {pid for _, pid in results}
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_explode, [1, 2, 3], jobs=2)
+
+    def test_worker_exception_propagates_sequentially(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_explode, [1], jobs=1)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestGoldenParallelism:
+    """Parallel golden runs are byte-identical to sequential ones."""
+
+    def test_record_byte_identical(self, tmp_path):
+        from repro.check.golden import SCENARIOS, record_scenarios
+
+        fast = [SCENARIOS[0], SCENARIOS[4], SCENARIOS[5]]
+        seq_dir, par_dir = tmp_path / "seq", tmp_path / "par"
+        record_scenarios(seq_dir, fast, jobs=1)
+        record_scenarios(par_dir, fast, jobs=3)
+        for s in fast:
+            name = f"{s.name}.jsonl"
+            assert (par_dir / name).read_bytes() == (seq_dir / name).read_bytes()
+
+    def test_diff_clean_in_parallel(self, tmp_path):
+        from repro.check.golden import SCENARIOS, diff_scenarios, record_scenarios
+
+        fast = [SCENARIOS[0], SCENARIOS[4]]
+        record_scenarios(tmp_path, fast, jobs=1)
+        assert diff_scenarios(tmp_path, fast, jobs=2) == []

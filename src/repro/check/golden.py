@@ -102,8 +102,14 @@ def _scenario_config(scenario: GoldenScenario) -> SimulationConfig:
     return config.with_(checks=CheckSpec(enabled=True))
 
 
-def run_scenario(scenario: GoldenScenario) -> list[str]:
-    """Execute one scenario; return its serialized JSONL lines."""
+def run_scenario(scenario: GoldenScenario, obs=None) -> list[str]:
+    """Execute one scenario; return its serialized JSONL lines.
+
+    ``obs`` optionally attaches a :class:`repro.obs.Observability` bundle
+    to the run.  Tracing is a pure observer, so the returned lines must be
+    byte-identical with or without it — ``repro trace golden`` gates
+    exactly that.
+    """
     from ..cluster.runner import MigrationRun
     from ..experiments import figures
     from ..workloads.hpcc import hpcc_workload
@@ -114,6 +120,7 @@ def run_scenario(scenario: GoldenScenario) -> list[str]:
         figures.make_strategy(scenario.scheme),
         config=_scenario_config(scenario),
         fault_log=fault_log,
+        obs=obs,
     )
     result = run.execute()
 

@@ -26,6 +26,7 @@ from .workloads.hpcc import hpcc_workload
 
 KERNEL_CHOICES = figures.KERNELS
 SCHEME_CHOICES = figures.SCHEMES
+TRACE_FORMATS = ("perfetto", "jsonl", "flame")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,6 +58,33 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--json", action="store_true", help="emit the result as a JSON object"
+    )
+    obs_grp = run.add_argument_group(
+        "observability", "span tracing & telemetry (see docs/OBSERVABILITY.md)"
+    )
+    obs_grp.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a span trace of the run and write it to PATH",
+    )
+    obs_grp.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="perfetto",
+        help="trace file format (default: perfetto trace-event JSON)",
+    )
+    obs_grp.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect histogram/counter/gauge metrics and print the report",
+    )
+    obs_grp.add_argument(
+        "--inspect",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="echo live run snapshots every SECONDS of simulated time",
     )
     faults = run.add_argument_group(
         "fault injection", "seeded network/node faults (see docs/FAULTS.md)"
@@ -206,6 +234,71 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allowed fractional score slowdown vs the baseline (default 0.25)",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="span-traced runs with Perfetto/JSONL/flame export",
+        description="Run an experiment with the repro.obs span tracer armed "
+        "and export the trace (load Perfetto JSON at ui.perfetto.dev).  "
+        "Tracing is a pure observer: traced runs are float-identical to "
+        "untraced ones, and `trace golden` gates exactly that.  See "
+        "docs/OBSERVABILITY.md.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trun = trace_sub.add_parser(
+        "run", help="run one bench case or (kernel, mb, scheme) cell traced"
+    )
+    from .experiments.bench import CASES as _BENCH_CASES
+
+    trun.add_argument(
+        "--case",
+        choices=tuple(_BENCH_CASES),
+        default=None,
+        help="a `repro bench` case to trace (alternative to --kernel/--mb/--scheme)",
+    )
+    trun.add_argument("--kernel", choices=KERNEL_CHOICES, default=None)
+    trun.add_argument("--mb", type=float, default=None, help="program size in paper MB")
+    trun.add_argument("--scheme", choices=SCHEME_CHOICES, default=None)
+    trun.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
+    trun.add_argument("--seed", type=int, default=0)
+    trun.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: trace.json / trace.jsonl; flame prints to stdout)",
+    )
+    trun.add_argument("--format", choices=TRACE_FORMATS, default="perfetto")
+    trun.add_argument(
+        "--metrics", action="store_true", help="also print the metrics report"
+    )
+    trun.add_argument(
+        "--inspect",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="echo live run snapshots every SECONDS of simulated time",
+    )
+    tgolden = trace_sub.add_parser(
+        "golden",
+        help="run one golden scenario traced and gate bit-identity vs the recording",
+    )
+    from .check.golden import SCENARIOS as _GOLDEN_SCENARIOS
+
+    tgolden.add_argument(
+        "scenario",
+        choices=tuple(s.name for s in _GOLDEN_SCENARIOS),
+        help="golden scenario to run with tracing enabled",
+    )
+    tgolden.add_argument(
+        "--golden",
+        default=None,
+        help="directory holding the recorded traces (default: tests/golden)",
+    )
+    tgolden.add_argument(
+        "--out",
+        default=None,
+        help="also export the recorded span trace to this path",
+    )
+    tgolden.add_argument("--format", choices=TRACE_FORMATS, default="perfetto")
+
     return parser
 
 
@@ -244,17 +337,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         config = config.with_(faults=fault_spec, retry=retry)
     workload = hpcc_workload(args.kernel, args.mb, scale=args.scale)
+    obs = _make_obs(args)
     run = MigrationRun(
         workload,
         figures.make_strategy(args.scheme),
         config=config,
         capacity_pages=args.capacity_pages,
+        obs=obs,
     )
     result = run.execute()
+    if obs is not None and obs.tracer is not None:
+        obs.tracer.verify_budget(result.budget)
+        written = _write_trace(obs.tracer, args.trace_format, args.trace, result.budget)
+        if written is not None and not args.json:
+            print(f"wrote {written}")
     if args.json:
         import json
 
-        print(json.dumps(result.to_dict(), indent=2))
+        payload = result.to_dict()
+        if obs is not None and obs.metrics is not None:
+            payload["metrics"] = obs.metrics.summary()
+        print(json.dumps(payload, indent=2))
         return 0
     c = result.counters
     print(f"kernel          : {args.kernel} ({args.mb:g} paper-MB x {args.scale:g})")
@@ -273,6 +376,143 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"crash detects   : {c.deputy_crash_detections}")
     for bucket, seconds in result.budget.as_dict().items():
         print(f"  {bucket:9s}: {seconds:.4f} s")
+    if obs is not None and obs.metrics is not None:
+        print()
+        print(obs.metrics.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# observability plumbing (repro trace / repro run --trace)
+# ----------------------------------------------------------------------
+def _make_obs(args: argparse.Namespace):
+    """Build the Observability bundle an argparse namespace asks for, or
+    ``None`` when no instrument was requested (the no-observer fast path)."""
+    trace = args.trace is not None
+    metrics = bool(args.metrics)
+    inspect_s = args.inspect
+    if not trace and not metrics and inspect_s is None:
+        return None
+    from .obs import Observability
+
+    return Observability.enabled(
+        trace=trace,
+        metrics=metrics,
+        inspect_interval_s=inspect_s,
+        echo=print if inspect_s is not None else None,
+    )
+
+
+def _write_trace(tracer, fmt: str, out: str | None, budget=None) -> str | None:
+    """Export a recorded trace; returns the path written (None = stdout)."""
+    from .obs import flame_summary, write_perfetto, write_spans_jsonl
+
+    if fmt == "flame":
+        text = flame_summary(tracer, budget)
+        if out is None:
+            print(text)
+            return None
+        from pathlib import Path
+
+        Path(out).write_text(text + "\n")
+        return out
+    if out is None:
+        out = "trace.json" if fmt == "perfetto" else "trace.jsonl"
+    if fmt == "perfetto":
+        write_perfetto(tracer, out)
+    else:
+        write_spans_jsonl(tracer, out)
+    return out
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Observability
+
+    if args.trace_command == "golden":
+        return _cmd_trace_golden(args)
+
+    custom = (args.kernel, args.mb, args.scheme)
+    if args.case is not None and any(v is not None for v in custom):
+        print("trace run: use either --case or --kernel/--mb/--scheme, not both")
+        return 2
+    if args.case is None and any(v is None for v in custom):
+        print("trace run: need --case, or all of --kernel, --mb and --scheme")
+        return 2
+
+    obs = Observability.enabled(
+        trace=True,
+        metrics=args.metrics,
+        inspect_interval_s=args.inspect,
+        echo=print if args.inspect is not None else None,
+    )
+    if args.case is not None:
+        from .experiments import bench
+
+        result = bench.CASES[args.case](obs=obs)
+        label = f"case {args.case}"
+    else:
+        result = figures.run_one(
+            args.kernel,
+            args.mb,
+            args.scheme,
+            scale=args.scale,
+            config=figures.scaled_config(args.scale, seed=args.seed),
+            obs=obs,
+        )
+        label = f"{args.kernel} {args.mb:g}MB {args.scheme}"
+    tracer = obs.tracer
+    tracer.verify_budget(result.budget)
+    print(
+        f"{label}: {len(tracer.spans)} spans / {len(tracer.instants)} instants "
+        f"on {len(tracer.tracks())} tracks, every budget bucket span-exact"
+    )
+    written = _write_trace(tracer, args.format, args.out, result.budget)
+    if written is not None:
+        print(f"wrote {written}")
+        if args.format == "perfetto":
+            print("open it at https://ui.perfetto.dev (Open trace file)")
+    if args.metrics:
+        print()
+        print(obs.metrics.render())
+    return 0
+
+
+def _cmd_trace_golden(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .check.golden import SCENARIOS, _diff_lines, run_scenario
+    from .obs import Observability
+
+    scenario = next(s for s in SCENARIOS if s.name == args.scenario)
+    golden_dir = Path(args.golden if args.golden is not None else _default_golden_dir())
+    path = golden_dir / f"{scenario.name}.jsonl"
+    if not path.exists():
+        print(f"golden trace missing: {path} (run `repro check record`)")
+        return 1
+    obs = Observability.enabled(metrics=False)
+    lines = run_scenario(scenario, obs=obs)
+    divergence = _diff_lines(scenario.name, path.read_text().splitlines(), lines)
+    if divergence is not None:
+        print(f"tracing perturbed the run: {divergence}")
+        return 1
+    # Second gate: the span sums must replicate the recorded time budget.
+    budget = json.loads(lines[-1])["budget"]
+    sums = obs.tracer.bucket_sums()
+    for bucket, charged in budget.items():
+        if sums.get(bucket, 0.0) != charged:
+            print(
+                f"bucket {bucket!r}: budget charged {charged!r} but spans "
+                f"record {sums.get(bucket, 0.0)!r}"
+            )
+            return 1
+    print(
+        f"{scenario.name}: traced run bit-identical to the golden recording "
+        f"({len(obs.tracer.spans)} spans, all buckets span-exact)"
+    )
+    if args.out is not None:
+        written = _write_trace(obs.tracer, args.format, args.out)
+        print(f"wrote {written}")
     return 0
 
 
@@ -457,6 +697,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "freeze": _cmd_freeze,
     "figure": _cmd_figure,
     "table1": _cmd_table1,

@@ -19,6 +19,8 @@ True
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..config import SimulationConfig
 from ..errors import MigrationError
 from ..faults import FaultInjectionLog, FaultPlan, install_lossy_link
@@ -28,9 +30,13 @@ from ..migration.executor import ExecutionResult, MigrantExecutor
 from ..migration.ffa import FfaMigration
 from ..net.shaper import TrafficShaper
 from ..node.infod import InfoDaemon
+from ..obs.spans import MIGRANT_TRACK
 from ..sim import Simulator, Timeout
 from ..sim.rng import child_rng
 from ..workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
 
 HOME = "home"
 DEST = "dest"
@@ -51,6 +57,7 @@ class MigrationRun:
         max_events: int | None = None,
         capacity_pages: int | None = None,
         fault_log: "FaultLog | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.workload = workload
         self.strategy = strategy
@@ -64,6 +71,10 @@ class MigrationRun:
         self.capacity_pages = capacity_pages
         #: Optional per-fault event log (see repro.metrics.eventlog).
         self.fault_log = fault_log
+        #: Optional repro.obs bundle; ``None`` (or an all-``None`` bundle)
+        #: keeps every hook detached and the simulator's no-observer fast
+        #: path intact.
+        self.obs = obs if obs is not None and obs.active else None
 
         self.sim = Simulator()
         node_names = [HOME, DEST]
@@ -107,6 +118,16 @@ class MigrationRun:
             # Section 5.5: tc/iptables shaping of the home<->dest link.
             shaper = TrafficShaper(self.cluster.network.link_between(HOME, DEST))
             shaper.apply(shaped_bandwidth_bps, shaped_latency_s)
+
+        # Wire-occupancy spans: attach the tracer's hook to both directions
+        # of the home<->dest link (after any lossy wrapping, so injected
+        # runs trace the wrapper's base transfers).  Pure observer — the
+        # hook only records; arrival arithmetic is unchanged.
+        if self.obs is not None and self.obs.tracer is not None:
+            hook = self.obs.tracer.wire_hook()
+            network = self.cluster.network
+            network.direction(HOME, DEST).trace_hook = hook
+            network.direction(DEST, HOME).trace_hook = hook
 
     # ------------------------------------------------------------------
     def measure_freeze(self) -> MigrationOutcome:
@@ -172,6 +193,8 @@ class MigrationRun:
         return checker
 
     def _scenario(self, ctx: MigrationContext):
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
         outcome = self.strategy.perform(ctx)
         self.outcome = outcome
         if self.with_infod and outcome.policy is not None:
@@ -186,6 +209,19 @@ class MigrationRun:
         if self.fault_plan is not None:
             # Faults begin the instant the migrant resumes.
             self.fault_plan.activate(self.sim.now + outcome.freeze_time)
+        if tracer is not None:
+            # The freeze span pairs with the executor's ``budget.freeze =
+            # outcome.freeze_time`` charge — same float, recorded first, so
+            # bucket_sums()["freeze"] reproduces the budget bit for bit.
+            tracer.complete(
+                MIGRANT_TRACK,
+                "freeze",
+                self.sim.now,
+                outcome.freeze_time,
+                "freeze",
+                strategy=outcome.strategy,
+                pages=outcome.pages_shipped,
+            )
         yield Timeout(outcome.freeze_time)
         executor = MigrantExecutor(
             sim=self.sim,
@@ -201,10 +237,12 @@ class MigrationRun:
                 child_rng(self.config.seed, "retry") if self.fault_plan is not None else None
             ),
             injection_log=self.injection_log,
+            obs=obs,
         )
         checker = None
         if self.config.checks.enabled:
             checker = self._make_checker(outcome, executor)
+        observers = self._attach_observers(outcome, executor)
         proc = executor.start()
         result = yield proc
         if proc.error is not None:
@@ -212,6 +250,68 @@ class MigrationRun:
         if checker is not None:
             checker.final_audit()
             self.sim.remove_observer(checker.on_sim_event)
+        for callback in observers:
+            self.sim.remove_observer(callback)
         if self.infod is not None:
             self.infod.stop()
+        if obs is not None and obs.metrics is not None:
+            self._finalize_metrics(obs.metrics, result)
         return result
+
+    # ------------------------------------------------------------------
+    def _attach_observers(self, outcome: MigrationOutcome, executor: MigrantExecutor):
+        """Register obs gauge samplers / inspector probes with the
+        simulator; returns the observer callbacks to detach at run end."""
+        obs = self.obs
+        if obs is None:
+            return ()
+        from ..obs import GaugeSampler
+        from ..obs.spans import DEPUTY_TRACK
+
+        sim = self.sim
+        observers = []
+        deputy = getattr(outcome.page_service, "deputy", None)
+        if deputy is not None:
+            deputy.obs = obs
+        if deputy is not None and (obs.metrics is not None or obs.tracer is not None):
+            sampler = GaugeSampler(
+                "deputy_queue_depth_s",
+                DEPUTY_TRACK,
+                lambda: max(0.0, deputy.busy_until - sim.now),
+                obs.sample_interval_s,
+                metrics=obs.metrics,
+                tracer=obs.tracer,
+            )
+            sim.add_observer(sampler.on_sim_event)
+            observers.append(sampler.on_sim_event)
+        inspector = obs.inspector
+        if inspector is not None:
+            counters = executor.counters
+            budget = executor.budget
+            inspector.add_probe("major_faults", lambda: float(counters.major_faults))
+            inspector.add_probe(
+                "prefetched", lambda: float(counters.pages_prefetched)
+            )
+            inspector.add_probe("stall_s", lambda: budget.stall)
+            inspector.add_probe("compute_s", lambda: budget.compute)
+            if deputy is not None:
+                inspector.add_probe(
+                    "deputy_queue_s", lambda: max(0.0, deputy.busy_until - sim.now)
+                )
+            sim.add_observer(inspector.on_sim_event)
+            observers.append(inspector.on_sim_event)
+        return observers
+
+    @staticmethod
+    def _finalize_metrics(metrics, result: ExecutionResult) -> None:
+        """Fold end-of-run prefetch accuracy/waste scalars into the registry."""
+        c = result.counters
+        prefetched = c.pages_prefetched
+        wasted = result.wasted_pages
+        metrics.set_counter("pages_prefetched", float(prefetched))
+        metrics.set_counter("pages_demand_fetched", float(c.pages_demand_fetched))
+        metrics.set_counter("wasted_pages", float(wasted))
+        if prefetched > 0:
+            useful = max(prefetched - wasted, 0)
+            metrics.set_counter("prefetch_accuracy", useful / prefetched)
+            metrics.set_counter("prefetch_waste_fraction", wasted / prefetched)

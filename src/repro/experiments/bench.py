@@ -47,32 +47,46 @@ DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "BENCH_throughput.json"
 DEFAULT_MAX_REGRESSION = 0.25
 
 
-def _run_local_fast() -> ExecutionResult:
+def _run_local_fast(obs=None) -> ExecutionResult:
     w = SequentialWorkload(mib(8), sweeps=4)
-    return MigrationRun(w, OpenMosixMigration()).execute()
+    return MigrationRun(w, OpenMosixMigration(), obs=obs).execute()
 
 
-def _run_demand_paging() -> ExecutionResult:
+def _run_demand_paging(obs=None) -> ExecutionResult:
     w = SequentialWorkload(mib(4))
-    return MigrationRun(w, NoPrefetchMigration()).execute()
+    return MigrationRun(w, NoPrefetchMigration(), obs=obs).execute()
 
 
-def _run_ampom_pipeline() -> ExecutionResult:
+def _run_ampom_pipeline(obs=None) -> ExecutionResult:
     w = SequentialWorkload(mib(4), sweeps=2)
-    return MigrationRun(w, AmpomMigration()).execute()
+    return MigrationRun(w, AmpomMigration(), obs=obs).execute()
 
 
-def _run_random_faults() -> ExecutionResult:
+def _run_random_faults(obs=None) -> ExecutionResult:
     w = UniformRandomWorkload(mib(8), n_references=8192)
-    return MigrationRun(w, AmpomMigration()).execute()
+    return MigrationRun(w, AmpomMigration(), obs=obs).execute()
 
 
-#: name -> zero-argument runner; the same workloads as the pytest cases.
+def _run_ampom_traced(obs=None) -> ExecutionResult:
+    """``ampom_pipeline`` with the full obs bundle armed.
+
+    Compare this case's score against ``ampom_pipeline`` to see what the
+    span tracer + metrics registry cost on a prefetch-heavy run (see
+    docs/PERFORMANCE.md).
+    """
+    from ..obs import Observability
+
+    return _run_ampom_pipeline(obs=obs if obs is not None else Observability.enabled())
+
+
+#: name -> runner (optionally taking an Observability bundle); the first
+#: four are the same workloads as the pytest cases.
 CASES: dict[str, Callable[[], ExecutionResult]] = {
     "local_fast": _run_local_fast,
     "demand_paging": _run_demand_paging,
     "ampom_pipeline": _run_ampom_pipeline,
     "random_faults": _run_random_faults,
+    "ampom_traced": _run_ampom_traced,
 }
 
 

@@ -71,9 +71,14 @@ def run_one(
     config: SimulationConfig | None = None,
     shaped_bandwidth_bps: float | None = None,
     shaped_latency_s: float | None = None,
+    obs=None,
     **workload_kwargs: object,
 ) -> ExecutionResult:
-    """Run one (kernel, size, scheme) cell of the evaluation."""
+    """Run one (kernel, size, scheme) cell of the evaluation.
+
+    ``obs`` optionally attaches a :class:`repro.obs.Observability` bundle
+    (span tracer / metrics registry / inspector) to the run.
+    """
     workload = hpcc_workload(kernel, memory_mb, scale=scale, **workload_kwargs)
     run = MigrationRun(
         workload,
@@ -81,6 +86,7 @@ def run_one(
         config=config if config is not None else scaled_config(scale),
         shaped_bandwidth_bps=shaped_bandwidth_bps,
         shaped_latency_s=shaped_latency_s,
+        obs=obs,
     )
     return run.execute()
 

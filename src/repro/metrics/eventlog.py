@@ -78,13 +78,24 @@ class FaultLog:
         return len(self._rows) / span if span > 0 else 0.0
 
     def summary(self) -> dict[str, float]:
+        """Aggregate fault statistics.
+
+        Safe on any log: an empty log yields all-zero values (never NaN or
+        a ZeroDivisionError), so callers can serialize the summary
+        unconditionally.
+        """
+        n = len(self)
+        total_stall = self.total_stall()
+        prefetched = float(sum(row[3] for row in self._rows))
         return {
-            "faults": float(len(self)),
+            "faults": float(n),
             "major": float(self.count(FaultKind.MAJOR)),
             "waits": float(self.count(FaultKind.IN_FLIGHT_WAIT)),
             "minor": float(self.count(FaultKind.MINOR_BUFFERED)),
             "creates": float(self.count(FaultKind.MINOR_CREATE)),
-            "total_stall_s": self.total_stall(),
+            "total_stall_s": total_stall,
+            "mean_stall_s": total_stall / n if n else 0.0,
             "fault_rate_hz": self.fault_rate(),
-            "prefetched_pages": float(sum(row[3] for row in self._rows)),
+            "prefetched_pages": prefetched,
+            "mean_prefetched_per_fault": prefetched / n if n else 0.0,
         }

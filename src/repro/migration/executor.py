@@ -36,12 +36,14 @@ from ..metrics.eventlog import FaultLog
 from ..metrics.timeline import TimeBudget
 from ..node.infod import InfoDaemon
 from ..node.node import Node
+from ..obs.spans import MIGRANT_TRACK
 from ..sim import SimProcess, Simulator, Timeout
 from ..workloads.base import Syscall, TraceChunk, Workload
 from .base import MigrationOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..check.invariants import InvariantChecker
+    from ..obs import Observability
 
 
 @dataclass(slots=True)
@@ -109,6 +111,7 @@ class MigrantExecutor:
         retry_rng: np.random.Generator | None = None,
         injection_log: FaultInjectionLog | None = None,
         checker: "InvariantChecker | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.sim = sim
         self.workload = workload
@@ -122,6 +125,13 @@ class MigrantExecutor:
         #: Optional repro.check invariant checker (pure observer); set by
         #: the runner when SimulationConfig.checks.enabled is true.
         self.checker = checker
+        #: Optional repro.obs bundle (pure observers).  The tracer records
+        #: one span per TimeBudget charge with the *identical* float
+        #: duration at the identical code site, so per-bucket span sums
+        #: reproduce the budget bit for bit (see docs/OBSERVABILITY.md).
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        self._obs_metrics = obs.metrics if obs is not None else None
 
         # Reliable-protocol state.  ``retry`` arms a retransmission timer
         # on every demand request whose reply may be lost; it is only set
@@ -218,6 +228,7 @@ class MigrantExecutor:
         mapped = res.mapped  # direct reference: the hot-path set
         cpu = self.node.cpu
         budget = self.budget
+        tr = self._tracer
         creates = self.workload.creates_pages
         start_time = sim.now
         self._last_fault_time = start_time
@@ -255,8 +266,11 @@ class MigrantExecutor:
                         # and after every fault, so the generator hop is
                         # worth spelling out.
                         wall = acc * cpu.stretch()
+                        t0 = sim.now if tr is not None else 0.0
                         yield Timeout(wall)
                         budget.compute += wall
+                        if tr is not None:
+                            tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
                         cpu.charge(acc)
                         self._compute_since_fault += acc
                         acc = 0.0
@@ -264,8 +278,11 @@ class MigrantExecutor:
                     acc += work
                 if acc > 0.0:
                     wall = acc * cpu.stretch()
+                    t0 = sim.now if tr is not None else 0.0
                     yield Timeout(wall)
                     budget.compute += wall
+                    if tr is not None:
+                        tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
                     cpu.charge(acc)
                     self._compute_since_fault += acc
         finally:
@@ -332,8 +349,12 @@ class MigrantExecutor:
     def _compute(self, cpu_work: float):
         """Consume ``cpu_work`` seconds of CPU under the current load."""
         wall = cpu_work * self.node.cpu.stretch()
+        tr = self._tracer
+        t0 = self.sim.now if tr is not None else 0.0
         yield Timeout(wall)
         self.budget.compute += wall
+        if tr is not None:
+            tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
         self.node.cpu.charge(cpu_work)
         self._compute_since_fault += cpu_work
 
@@ -349,14 +370,21 @@ class MigrantExecutor:
                 self._insert_resident(vpn)
         self.counters.pages_copied += len(copied)
         wall = len(copied) * self.hardware.page_copy_time * self._cpu.stretch()
+        tr = self._tracer
+        t0 = self.sim.now if tr is not None else 0.0
         yield Timeout(wall)
         self.budget.copy += wall
+        if tr is not None:
+            tr.complete(MIGRANT_TRACK, "copy", t0, wall, "copy", pages=len(copied))
 
     def _fault(self, vpn: int):
         sim = self.sim
         res = self._res
         cpu = self._cpu
         now = sim.now
+        tr = self._tracer
+        if tr is not None:
+            tr.begin(MIGRANT_TRACK, "fault", now, vpn=vpn)
 
         # C_i: CPU share consumed since the previous fault.
         elapsed = now - self._last_fault_time
@@ -408,8 +436,11 @@ class MigrantExecutor:
             analysis_time = self._analysis_time
             if analysis_time > 0.0:
                 wall = analysis_time * cpu.stretch()
+                t0 = sim.now if tr is not None else 0.0
                 yield Timeout(wall)
                 self.budget.analysis += wall
+                if tr is not None:
+                    tr.complete(MIGRANT_TRACK, "analysis", t0, wall, "analysis")
                 cpu.charge(analysis_time)
             window = self._policy_window
             if (
@@ -434,6 +465,10 @@ class MigrantExecutor:
             counters.demand_requests += 1
             counters.pages_demand_fetched += 1
             counters.pages_prefetched += len(prefetch)
+            if tr is not None:
+                tr.instant(
+                    MIGRANT_TRACK, "demand_request", t_req, vpn=vpn, prefetch=len(prefetch)
+                )
             if self.checker is not None:
                 self.checker.on_request([vpn], prefetch)
             if self._reliable:
@@ -452,6 +487,8 @@ class MigrantExecutor:
         elif prefetch:
             counters.prefetch_requests += 1
             counters.pages_prefetched += len(prefetch)
+            if tr is not None:
+                tr.instant(MIGRANT_TRACK, "prefetch_request", t_req, pages=len(prefetch))
             if self.checker is not None:
                 self.checker.on_request([], prefetch)
             if self._reliable:
@@ -482,9 +519,12 @@ class MigrantExecutor:
                     stall = 0.0
                 if stall > 0.0:
                     self._release_cpu()
+                    t0 = sim.now if tr is not None else 0.0
                     yield Timeout(stall)
                     self._acquire_cpu()
                     self.budget.stall += stall
+                    if tr is not None:
+                        tr.complete(MIGRANT_TRACK, "stall", t0, stall, "stall", vpn=vpn)
                 res.absorb_arrivals(sim.now)
                 if res.buffered_set:
                     yield from self._copy_buffered(res)
@@ -492,6 +532,24 @@ class MigrantExecutor:
             self.fault_log.record(now, vpn, kind, len(prefetch), stall)
         if self.checker is not None:
             self.checker.on_fault(kind, vpn)
+        if tr is not None:
+            tr.end(
+                MIGRANT_TRACK,
+                sim.now,
+                kind=kind.name,
+                prefetch=len(prefetch),
+                stall=stall,
+            )
+        metrics = self._obs_metrics
+        if metrics is not None:
+            if kind in (FaultKind.MAJOR, FaultKind.IN_FLIGHT_WAIT):
+                metrics.histogram("stall_s").observe(stall)
+            if self._policy is not None:
+                metrics.histogram("prefetch_request_pages").observe(float(len(prefetch)))
+                last = getattr(self._policy, "last_trace", None)
+                if last is not None:
+                    metrics.histogram("zone_size_pages").observe(float(last.zone_size))
+                    metrics.histogram("locality_score").observe(last.score)
 
     # ------------------------------------------------------------------
     # the reliable remote-paging protocol (fault-injection runs only)
@@ -531,6 +589,7 @@ class MigrantExecutor:
         res = self.outcome.residency
         service = self.outcome.page_service
         retry = self.retry
+        tr = self._tracer
         assert retry is not None
         self._await_stall = 0.0
         attempt = 0
@@ -549,9 +608,15 @@ class MigrantExecutor:
                 wait = max(arrival - sim.now, 0.0)
             if wait > 0.0:
                 self._release_cpu()
+                t0 = sim.now if tr is not None else 0.0
                 yield Timeout(wait)
                 self._acquire_cpu()
                 self.budget.stall += wait
+                if tr is not None:
+                    tr.complete(
+                        MIGRANT_TRACK, "stall", t0, wait, "stall",
+                        vpn=vpn, attempt=attempt, timed=timed,
+                    )
                 self._await_stall += wait
             res.absorb_arrivals(sim.now)
             if res.buffered_set:
@@ -562,6 +627,8 @@ class MigrantExecutor:
                 continue  # recompute: a retransmitted reply may be closer
             self.counters.request_timeouts += 1
             self._log_event(FaultEventKind.TIMEOUT, detail=f"vpn={vpn} attempt={attempt}")
+            if tr is not None:
+                tr.instant(MIGRANT_TRACK, "timeout", sim.now, vpn=vpn, attempt=attempt)
             attempt += 1
             if attempt > retry.max_attempts:
                 raise MigrationError(
@@ -578,6 +645,8 @@ class MigrantExecutor:
             self._log_event(
                 FaultEventKind.RETRANSMIT, detail=f"vpn={vpn} seq={seq} attempt={attempt}"
             )
+            if tr is not None:
+                tr.instant(MIGRANT_TRACK, "retransmit", sim.now, vpn=vpn, seq=seq, attempt=attempt)
             if self.checker is not None:
                 self.checker.on_request([vpn], [], retransmit=True)
             self._register_fetches(service.request([vpn], [], sim.now, seq=seq))
@@ -623,14 +692,18 @@ class MigrantExecutor:
     # ------------------------------------------------------------------
     def _syscall(self, syscall: Syscall):
         service = self.outcome.page_service
+        tr = self._tracer
         self.counters.syscalls_forwarded += 1
         if not self._reliable:
             reply_at = service.forward_syscall(syscall, self.sim.now)
             wait = max(reply_at - self.sim.now, 0.0)
             self._release_cpu()
+            t0 = self.sim.now if tr is not None else 0.0
             yield Timeout(wait)
             self._acquire_cpu()
             self.budget.add("syscall", wait)
+            if tr is not None:
+                tr.complete(MIGRANT_TRACK, "syscall", t0, wait, "syscall")
             return
         # Reliable forwarding: a lost request or reply (infinite arrival)
         # is retransmitted with the same seq, so the deputy re-sends the
@@ -648,13 +721,20 @@ class MigrantExecutor:
                 wait = max(reply_at - self.sim.now, 0.0)
             if wait > 0.0:
                 self._release_cpu()
+                t0 = self.sim.now if tr is not None else 0.0
                 yield Timeout(wait)
                 self._acquire_cpu()
                 self.budget.add("syscall", wait)
+                if tr is not None:
+                    tr.complete(
+                        MIGRANT_TRACK, "syscall", t0, wait, "syscall", attempt=attempt
+                    )
             if not math.isinf(reply_at):
                 break
             self.counters.request_timeouts += 1
             self._log_event(FaultEventKind.TIMEOUT, detail=f"syscall seq={seq}")
+            if tr is not None:
+                tr.instant(MIGRANT_TRACK, "timeout", self.sim.now, syscall_seq=seq)
             attempt += 1
             if attempt > retry.max_attempts:
                 raise MigrationError(

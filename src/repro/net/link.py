@@ -37,6 +37,12 @@ class Direction:
         self.busy_until = 0.0
         self.total_bytes = 0
         self.total_messages = 0
+        #: Optional tracing hook ``(name, start, serialize_end, size,
+        #: arrival) -> None`` fired once per message — the repro.obs span
+        #: tracer attaches here to record wire occupancy.  Pure observer:
+        #: it must not call back into the link.  None on untraced runs, so
+        #: the hot path pays one attribute test per transfer.
+        self.trace_hook = None
         # Parallel arrays logging each transfer for counter reads.  The
         # log is periodically compacted: entries that finished serializing
         # more than ``counter_horizon_s`` before the latest transfer are
@@ -76,7 +82,10 @@ class Direction:
         self._cum_bytes.append(prev + size)
         if len(self._ends) >= COMPACT_THRESHOLD:
             self.compact(now - self.counter_horizon_s)
-        return end + self.latency_s
+        arrival = end + self.latency_s
+        if self.trace_hook is not None:
+            self.trace_hook(self.name, start, end, size, arrival)
+        return arrival
 
     def transfer_page(self, page_size: int, now: float) -> float:
         """Submit one page payload (page + per-page protocol overhead)."""
@@ -91,9 +100,10 @@ class Direction:
         locals are bound once per batch instead of once per message, which
         matters when the deputy serializes a deep prefetch train.
         """
-        if type(self).transfer is not Direction.transfer:
-            # A subclass customises transfer (e.g. fault injection); take
-            # the exact per-message path so its behaviour is preserved.
+        if type(self).transfer is not Direction.transfer or self.trace_hook is not None:
+            # A subclass customises transfer (e.g. fault injection) or a
+            # tracer wants per-message spans; take the exact per-message
+            # path so their behaviour is preserved.
             return [self.transfer(payload_bytes, t) for t in times]
         if payload_bytes < 0:
             raise NetworkError(f"payload_bytes must be non-negative: {payload_bytes}")

@@ -31,6 +31,7 @@ from ..config import HardwareSpec
 from ..errors import MemoryStateError
 from ..mem.page_table import HomePageTable
 from ..net.link import Direction
+from ..obs.spans import DEPUTY_TRACK
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
@@ -73,6 +74,25 @@ class Deputy:
         self._replay_capacity = (
             fault_plan.spec.replay_cache_pages if fault_plan is not None else 0
         )
+        #: Optional :class:`repro.obs.Observability` bundle (set by the
+        #: runner on traced runs).  Pure observer — serve spans and queue
+        #: metrics only; None on default runs.
+        self.obs = None
+
+    # ------------------------------------------------------------------
+    def _trace_serve(
+        self, arrival: float, start: float, end: float, pages: int, seq: int | None
+    ) -> None:
+        """Record one serve span + queue-wait sample (obs is armed)."""
+        obs = self.obs
+        if obs.tracer is not None:
+            args = {"pages": pages}
+            if seq is not None:
+                args["seq"] = seq
+            obs.tracer.complete(DEPUTY_TRACK, "serve", start, end - start, **args)
+        if obs.metrics is not None:
+            obs.metrics.histogram("deputy_queue_wait_s").observe(start - arrival)
+            obs.metrics.histogram("deputy_batch_pages").observe(float(pages))
 
     # ------------------------------------------------------------------
     def _down_at(self, t: float) -> bool:
@@ -156,6 +176,8 @@ class Deputy:
             clock += hw.deputy_page_time
             self.busy_until = clock
             self.requests_served += 1
+            if self.obs is not None:
+                self._trace_serve(request_arrival, start, clock, 1, seq)
             end = self.reply_channel.transfer(
                 hw.page_size + hw.remote_paging_overhead_bytes, clock
             )
@@ -208,6 +230,8 @@ class Deputy:
         self.pages_served += served
         self.busy_until = clock
         self.requests_served += 1
+        if self.obs is not None:
+            self._trace_serve(request_arrival, start, clock, len(ordered), seq)
         # One batched serialization pass over the reply channel — same
         # per-page arithmetic as transfer(), paid for once per request.
         ends = self.reply_channel.transfer_batch(
@@ -273,8 +297,14 @@ class Deputy:
             self.duplicate_requests += 1
             done = start + self.hardware.deputy_request_time
             self.busy_until = done
+            if self.obs is not None and self.obs.tracer is not None:
+                self.obs.tracer.complete(
+                    DEPUTY_TRACK, "syscall_replay", start, done - start
+                )
             return self.reply_channel.transfer(reply_payload_bytes, done)
         done = start + self.hardware.deputy_request_time + service_time
         self.busy_until = done
         self.syscalls_served += 1
+        if self.obs is not None and self.obs.tracer is not None:
+            self.obs.tracer.complete(DEPUTY_TRACK, "syscall", start, done - start)
         return self.reply_channel.transfer(reply_payload_bytes, done)

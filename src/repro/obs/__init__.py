@@ -1,0 +1,96 @@
+"""repro.obs — unified tracing & telemetry for simulated runs.
+
+One opt-in bundle, :class:`Observability`, carries the three instruments a
+run can attach:
+
+* :class:`SpanTracer` — nested spans of every fault lifecycle, migration
+  freeze, deputy service and wire transfer, in simulated time, with
+  bucket-exact :class:`repro.metrics.timeline.TimeBudget` replication;
+* :class:`MetricsRegistry` — histograms (stall latency, zone size ``N``,
+  locality score ``S``), counters (prefetch accuracy/waste) and sampled
+  gauges (deputy queue depth);
+* :class:`RunInspector` — periodic live snapshots via the simulator's
+  observer hook.
+
+All three are pure observers: they read the simulated clock and model
+state but never schedule events or mutate anything, so instrumented runs
+are float-identical to bare runs (gated by the golden-trace harness).
+Default runs pass ``obs=None`` everywhere and skip every hook — the
+simulator keeps its no-observer fast path.  See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .flame import flame_rows, flame_summary
+from .inspector import GaugeSampler, RunInspector
+from .metrics import Histogram, MetricsRegistry
+from .perfetto import to_perfetto, trace_events, write_perfetto, write_spans_jsonl
+from .spans import DEPUTY_TRACK, MIGRANT_TRACK, Span, SpanTracer, wire_track
+
+#: Default simulated-time period of the gauge samplers (deputy queue depth).
+DEFAULT_SAMPLE_INTERVAL_S = 0.05
+
+
+@dataclass
+class Observability:
+    """The per-run observability bundle (every instrument optional)."""
+
+    tracer: SpanTracer | None = None
+    metrics: MetricsRegistry | None = None
+    inspector: RunInspector | None = None
+    #: Simulated seconds between gauge samples (deputy queue depth etc.).
+    sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S
+
+    @classmethod
+    def enabled(
+        cls,
+        trace: bool = True,
+        metrics: bool = True,
+        inspect_interval_s: float | None = None,
+        echo: Callable[[str], None] | None = None,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+    ) -> "Observability":
+        """Build a bundle with the requested instruments armed."""
+        return cls(
+            tracer=SpanTracer() if trace else None,
+            metrics=MetricsRegistry() if metrics else None,
+            inspector=(
+                RunInspector(inspect_interval_s, echo=echo)
+                if inspect_interval_s is not None
+                else None
+            ),
+            sample_interval_s=sample_interval_s,
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether any instrument is armed (False = bare fast-path run)."""
+        return (
+            self.tracer is not None
+            or self.metrics is not None
+            or self.inspector is not None
+        )
+
+
+__all__ = [
+    "DEFAULT_SAMPLE_INTERVAL_S",
+    "DEPUTY_TRACK",
+    "GaugeSampler",
+    "Histogram",
+    "MIGRANT_TRACK",
+    "MetricsRegistry",
+    "Observability",
+    "RunInspector",
+    "Span",
+    "SpanTracer",
+    "flame_rows",
+    "flame_summary",
+    "to_perfetto",
+    "trace_events",
+    "wire_track",
+    "write_perfetto",
+    "write_spans_jsonl",
+]

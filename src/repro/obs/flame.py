@@ -1,0 +1,70 @@
+"""Text "flame summary": where the simulated time went, by track and span.
+
+A terminal-friendly digest of a recorded trace — for when opening
+ui.perfetto.dev is overkill.  Spans aggregate by ``(track, name)`` with
+count, total seconds and share of the run's wall time; bucket-carrying
+spans additionally report their :class:`TimeBudget` bucket so the output
+reads like figure 11's freeze/stall/analysis decomposition, one line per
+activity.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import format_table
+from .spans import SpanTracer
+
+
+def flame_rows(tracer: SpanTracer) -> list[list[object]]:
+    """Aggregated ``[track, span, bucket, count, total_s, wall %]`` rows,
+    sorted by total descending within each track."""
+    totals: dict[tuple[str, str, str], tuple[int, float]] = {}
+    for span in tracer.spans:
+        key = (span.track, span.name, span.bucket or "-")
+        count, total = totals.get(key, (0, 0.0))
+        totals[key] = (count + 1, total + span.dur)
+    wall = _wall_time(tracer)
+    rows = [
+        [track, name, bucket, count, total, (total / wall * 100.0) if wall > 0 else 0.0]
+        for (track, name, bucket), (count, total) in totals.items()
+    ]
+    rows.sort(key=lambda r: (r[0], -r[4]))
+    return rows
+
+
+def _wall_time(tracer: SpanTracer) -> float:
+    """Extent of the recorded run: first span start to last span end."""
+    if not tracer.spans:
+        return 0.0
+    start = min(s.start for s in tracer.spans)
+    end = max(s.end for s in tracer.spans)
+    return end - start
+
+
+def flame_summary(tracer: SpanTracer, budget=None) -> str:
+    """Render the flame summary (optionally footed with the TimeBudget)."""
+    rows = flame_rows(tracer)
+    if not rows:
+        return "(no spans recorded)"
+    table = format_table(
+        ["track", "span", "bucket", "count", "total s", "wall %"], rows
+    )
+    lines = [table]
+    if budget is not None:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["budget bucket", "seconds"],
+                [[bucket, seconds] for bucket, seconds in budget.as_dict().items()],
+            )
+        )
+    instants = len(tracer.instants)
+    lines.append("")
+    lines.append(
+        f"{len(tracer.spans)} spans, {instants} instants, "
+        f"{len(tracer.counters)} counter samples over {_wall_time(tracer):.4f} s "
+        f"of simulated time"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["flame_rows", "flame_summary"]

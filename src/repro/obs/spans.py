@@ -1,0 +1,229 @@
+"""Span-based tracing in **simulated time**.
+
+A :class:`Span` is a named interval on a *track* (one per simulated actor:
+the migrant, the deputy, each wire direction).  Spans nest — a ``fault``
+span contains its ``copy``/``analysis``/``stall`` children — and may carry
+a :class:`repro.metrics.timeline.TimeBudget` *bucket*: the span's duration
+is then an exact replica of one charge made to that bucket, recorded at
+the same code site with the same float value.  :meth:`SpanTracer.
+bucket_sums` re-accumulates those durations in recording order, so per
+bucket the sum equals the budget field *bit for bit* — the tracer's
+self-check (and the integration suite) assert exact float equality, not an
+approximation.
+
+The tracer is a pure observer: it reads the simulated clock but never
+schedules events or mutates model state, so a traced run is float-identical
+to an untraced one (the golden-trace harness gates this in CI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+#: Track names used by the built-in instrumentation.
+MIGRANT_TRACK = "dest/migrant"
+DEPUTY_TRACK = "home/deputy"
+
+
+def wire_track(direction_name: str) -> str:
+    """Track name for one wire direction (e.g. ``wire/home->dest``)."""
+    return f"wire/{direction_name}"
+
+
+@dataclass(slots=True)
+class Span:
+    """One completed interval of simulated time on a track.
+
+    ``dur`` is authoritative: for budget-carrying spans it is the exact
+    float charged to the :class:`TimeBudget` bucket.  ``end`` is derived
+    (``start + dur``) and only used for display/export.
+    """
+
+    track: str
+    name: str
+    start: float
+    dur: float
+    #: TimeBudget bucket this duration replicates, or None.
+    bucket: str | None = None
+    #: Nesting depth within the track at begin time (0 = top level).
+    depth: int = 0
+    args: dict | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.dur
+
+
+@dataclass(slots=True)
+class Instant:
+    """A zero-duration marker event (request sent, timeout fired, ...)."""
+
+    track: str
+    name: str
+    time: float
+    args: dict | None = None
+
+
+@dataclass(slots=True)
+class CounterSample:
+    """One sample of a numeric time series (Perfetto counter track)."""
+
+    track: str
+    name: str
+    time: float
+    value: float
+
+
+class SpanTracer:
+    """Records spans, instants and counter samples of one simulated run.
+
+    Two recording styles:
+
+    * :meth:`complete` — the caller knows the start and the exact duration
+      (the common case: every ``TimeBudget`` charge site records the span
+      right where it charges the bucket);
+    * :meth:`begin` / :meth:`end` — for enclosing spans whose extent is
+      only known at the end (the per-fault lifecycle wrapper).  These
+      nest per track; ``end`` closes the innermost open span.
+    """
+
+    __slots__ = ("spans", "instants", "counters", "_open")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.counters: list[CounterSample] = []
+        self._open: dict[str, list[Span]] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        dur: float,
+        bucket: str | None = None,
+        **args: object,
+    ) -> Span:
+        """Record a finished span with an explicit (exact) duration."""
+        if dur < 0.0:
+            raise SimulationError(f"span {name!r} has negative duration {dur}")
+        stack = self._open.get(track)
+        depth = len(stack) if stack else 0
+        span = Span(track, name, start, dur, bucket, depth, args or None)
+        self.spans.append(span)
+        return span
+
+    def begin(self, track: str, name: str, t: float, **args: object) -> Span:
+        """Open a nested span; close it with :meth:`end`."""
+        stack = self._open.setdefault(track, [])
+        span = Span(track, name, t, 0.0, None, len(stack), args or None)
+        stack.append(span)
+        return span
+
+    def end(self, track: str, t: float, **args: object) -> Span:
+        """Close the innermost open span on ``track`` at time ``t``."""
+        stack = self._open.get(track)
+        if not stack:
+            raise SimulationError(f"end() without begin() on track {track!r}")
+        span = stack.pop()
+        if t < span.start:
+            raise SimulationError(
+                f"span {span.name!r} ends before it starts ({t} < {span.start})"
+            )
+        span.dur = t - span.start
+        if args:
+            span.args = {**(span.args or {}), **args}
+        self.spans.append(span)
+        return span
+
+    def instant(self, track: str, name: str, t: float, **args: object) -> None:
+        """Record a zero-duration marker."""
+        self.instants.append(Instant(track, name, t, args or None))
+
+    def counter(self, track: str, name: str, t: float, value: float) -> None:
+        """Record one sample of a numeric time series."""
+        self.counters.append(CounterSample(track, name, t, value))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (0 after a clean run)."""
+        return sum(len(s) for s in self._open.values())
+
+    def bucket_sums(self) -> dict[str, float]:
+        """Per-bucket sequential sum of span durations.
+
+        Durations are accumulated in recording order — the same floats in
+        the same order as the ``TimeBudget`` charges they replicate — so
+        each sum equals the corresponding budget field exactly.
+        """
+        sums: dict[str, float] = {}
+        for span in self.spans:
+            if span.bucket is not None:
+                sums[span.bucket] = sums.get(span.bucket, 0.0) + span.dur
+        return sums
+
+    def verify_budget(self, budget) -> None:
+        """Raise :class:`SimulationError` on any unattributed simulated
+        time: every ``TimeBudget`` bucket must equal its span sum exactly.
+        """
+        sums = self.bucket_sums()
+        for bucket, charged in budget.as_dict().items():
+            recorded = sums.pop(bucket, 0.0)
+            if recorded != charged:
+                raise SimulationError(
+                    f"bucket {bucket!r}: budget charged {charged!r} but spans "
+                    f"record {recorded!r} (unattributed simulated time)"
+                )
+        if sums:
+            raise SimulationError(f"spans charge unknown buckets: {sorted(sums)}")
+
+    def tracks(self) -> list[str]:
+        """Every track that recorded at least one span/instant/counter, in
+        first-appearance order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.track, None)
+        for inst in self.instants:
+            seen.setdefault(inst.track, None)
+        for sample in self.counters:
+            seen.setdefault(sample.track, None)
+        return list(seen)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    # ------------------------------------------------------------------
+    # hooks for the wire layer
+    # ------------------------------------------------------------------
+    def wire_hook(self):
+        """A :attr:`repro.net.link.Direction.trace_hook` recording one
+        span per message: submission -> arrival at the far end."""
+
+        def hook(name: str, start: float, end: float, size: int, arrival: float) -> None:
+            self.complete(
+                wire_track(name), "msg", start, arrival - start, bytes=size
+            )
+
+        return hook
+
+
+__all__ = [
+    "CounterSample",
+    "DEPUTY_TRACK",
+    "Instant",
+    "MIGRANT_TRACK",
+    "Span",
+    "SpanTracer",
+    "wire_track",
+]

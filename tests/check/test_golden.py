@@ -103,6 +103,48 @@ def test_committed_traces_match():
     assert divergences == [], "\n".join(str(d) for d in divergences)
 
 
+@pytest.mark.parametrize("scenario", FAST, ids=[s.name for s in FAST])
+def test_tracing_does_not_perturb_scenario(scenario):
+    """A traced run serializes byte-identically to an untraced one."""
+    from repro.obs import Observability
+
+    obs = Observability.enabled()
+    assert run_scenario(scenario, obs=obs) == run_scenario(scenario)
+    assert obs.tracer.spans
+    assert obs.tracer.open_spans == 0
+
+
+def test_trace_golden_cli_gate(tmp_path, capsys):
+    """`repro trace golden` passes against a fresh recording and exports."""
+    from repro.cli import main
+
+    record_scenarios(tmp_path, FAST[:1])
+    out = tmp_path / "trace.json"
+    rc = main(
+        [
+            "trace",
+            "golden",
+            FAST[0].name,
+            "--golden",
+            str(tmp_path),
+            "--out",
+            str(out),
+        ]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "bit-identical" in text
+    assert out.exists()
+
+
+def test_trace_golden_cli_reports_missing(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["trace", "golden", FAST[0].name, "--golden", str(tmp_path)])
+    assert rc == 1
+    assert "missing" in capsys.readouterr().out
+
+
 def test_scenario_header_roundtrips_faults():
     s = GoldenScenario(
         "x", "DGEMM", 115, "AMPoM", faults=SCENARIOS[6].faults, seed=7

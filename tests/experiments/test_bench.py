@@ -34,7 +34,16 @@ class TestHarness:
             "demand_paging",
             "ampom_pipeline",
             "random_faults",
+            "ampom_traced",
         }
+
+    def test_traced_case_runs_with_obs_armed(self):
+        from repro.obs import Observability
+
+        obs = Observability.enabled()
+        result = bench.CASES["ampom_traced"](obs=obs)
+        assert obs.tracer.spans
+        obs.tracer.verify_budget(result.budget)
 
     def test_write_record_roundtrip(self, tmp_path):
         record = bench.run_bench(repeats=1, cases={"noop": _noop})

@@ -33,6 +33,8 @@ def test_summary_fields():
     assert s["faults"] == 1
     assert s["major"] == 1
     assert s["prefetched_pages"] == 8
+    assert s["mean_stall_s"] == pytest.approx(0.001)
+    assert s["mean_prefetched_per_fault"] == pytest.approx(8.0)
 
 
 def test_empty_log():
@@ -40,6 +42,20 @@ def test_empty_log():
     assert log.fault_rate() == 0.0
     assert log.total_stall() == 0.0
     assert list(log.events()) == []
+
+
+def test_empty_log_summary_is_all_zero():
+    """An empty log must summarize to zeros — no NaN, no division error."""
+    s = FaultLog().summary()
+    assert set(s) >= {
+        "faults",
+        "total_stall_s",
+        "mean_stall_s",
+        "fault_rate_hz",
+        "prefetched_pages",
+        "mean_prefetched_per_fault",
+    }
+    assert all(v == 0.0 for v in s.values())
 
 
 def test_integrated_with_executor():

@@ -1,0 +1,50 @@
+"""Unit tests for the text flame summary (repro.obs.flame)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.timeline import TimeBudget
+from repro.obs.flame import flame_rows, flame_summary
+from repro.obs.spans import SpanTracer
+
+
+def _tracer() -> SpanTracer:
+    tr = SpanTracer()
+    tr.complete("dest/migrant", "compute", 0.0, 0.6, "compute")
+    tr.complete("dest/migrant", "stall", 0.6, 0.3, "stall")
+    tr.complete("dest/migrant", "stall", 0.9, 0.1, "stall")
+    return tr
+
+
+class TestFlameRows:
+    def test_aggregates_by_track_name_bucket(self):
+        rows = flame_rows(_tracer())
+        stall = next(r for r in rows if r[1] == "stall")
+        assert stall[3] == 2  # count
+        assert stall[4] == pytest.approx(0.4)  # total
+        assert stall[5] == pytest.approx(40.0)  # % of the 1.0 s wall
+
+    def test_sorted_by_total_within_track(self):
+        rows = flame_rows(_tracer())
+        totals = [r[4] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty_tracer(self):
+        assert flame_rows(SpanTracer()) == []
+        assert "no spans" in flame_summary(SpanTracer())
+
+
+class TestFlameSummary:
+    def test_includes_budget_footer(self):
+        budget = TimeBudget()
+        budget.compute = 0.6
+        out = flame_summary(_tracer(), budget)
+        assert "budget bucket" in out
+        assert "compute" in out
+        assert "spans" in out
+
+    def test_without_budget(self):
+        out = flame_summary(_tracer())
+        assert "budget bucket" not in out
+        assert "3 spans" in out

@@ -1,0 +1,67 @@
+"""Unit tests for the live inspector and gauge sampler (repro.obs.inspector)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanTracer
+from repro.obs.inspector import GaugeSampler, RunInspector
+
+
+class TestRunInspector:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RunInspector(0.0)
+
+    def test_snapshots_on_boundary_crossings(self):
+        insp = RunInspector(1.0)
+        for t in (0.0, 0.4, 1.1, 1.5, 2.2):
+            insp.on_sim_event(t)
+        # Crossings at 0.0, 1.1 and 2.2; 0.4 and 1.5 are inside a window.
+        assert [s["t"] for s in insp.snapshots] == [0.0, 1.1, 2.2]
+        assert insp.events_seen == 5
+
+    def test_idle_gap_emits_single_snapshot(self):
+        insp = RunInspector(0.1)
+        insp.on_sim_event(0.0)
+        insp.on_sim_event(50.0)  # long idle gap: no backlog of samples
+        assert len(insp.snapshots) == 2
+
+    def test_probes_sampled(self):
+        insp = RunInspector(1.0)
+        state = {"v": 0.0}
+        insp.add_probe("depth", lambda: state["v"])
+        insp.on_sim_event(0.0)
+        state["v"] = 3.0
+        insp.on_sim_event(1.5)
+        assert insp.snapshots[0]["depth"] == 0.0
+        assert insp.snapshots[1]["depth"] == 3.0
+
+    def test_echo_receives_formatted_lines(self):
+        lines: list[str] = []
+        insp = RunInspector(1.0, echo=lines.append)
+        insp.add_probe("x", lambda: 7.0)
+        insp.on_sim_event(0.0)
+        assert len(lines) == 1
+        assert lines[0].startswith("[inspect]")
+        assert "x=7" in lines[0]
+
+
+class TestGaugeSampler:
+    def test_writes_metrics_and_counter_track(self):
+        metrics = MetricsRegistry()
+        tracer = SpanTracer()
+        state = {"v": 1.0}
+        sampler = GaugeSampler(
+            "queue", "home/deputy", lambda: state["v"], 0.5, metrics=metrics, tracer=tracer
+        )
+        sampler.on_sim_event(0.0)
+        state["v"] = 2.0
+        sampler.on_sim_event(0.2)  # inside the window: skipped
+        sampler.on_sim_event(0.7)
+        assert metrics.gauge_samples("queue") == [(0.0, 1.0), (0.7, 2.0)]
+        assert [(c.time, c.value) for c in tracer.counters] == [(0.0, 1.0), (0.7, 2.0)]
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GaugeSampler("q", "t", lambda: 0.0, -1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the histogram/metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_empty_summary_is_zero_filled(self):
+        s = Histogram("x").summary()
+        assert s == {
+            "count": 0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("x").percentile(99) == 0.0
+
+    def test_nearest_rank_percentiles(self):
+        h = Histogram("x")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+
+    def test_single_observation(self):
+        h = Histogram("x")
+        h.observe(7.0)
+        s = h.summary()
+        assert s["count"] == 1
+        assert s["min"] == s["max"] == s["mean"] == s["p50"] == s["p99"] == 7.0
+
+    def test_unsorted_input(self):
+        h = Histogram("x")
+        for v in (5.0, 1.0, 3.0):
+            h.observe(v)
+        assert h.percentile(50) == 3.0
+        assert h.summary()["min"] == 1.0
+
+
+class TestRegistry:
+    def test_histogram_created_on_demand(self):
+        reg = MetricsRegistry()
+        reg.histogram("stall_s").observe(0.5)
+        assert reg.histogram("stall_s").count == 1
+        assert set(reg.histograms) == {"stall_s"}
+
+    def test_counters(self):
+        reg = MetricsRegistry()
+        reg.count("faults")
+        reg.count("faults", 2.0)
+        reg.set_counter("accuracy", 0.9)
+        assert reg.counter_values == {"faults": 3.0, "accuracy": 0.9}
+
+    def test_gauges(self):
+        reg = MetricsRegistry()
+        reg.sample_gauge("queue", 0.0, 1.0)
+        reg.sample_gauge("queue", 0.1, 2.0)
+        assert reg.gauge_samples("queue") == [(0.0, 1.0), (0.1, 2.0)]
+        assert reg.gauge_samples("missing") == []
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        reg.count("c")
+        reg.sample_gauge("g", 0.0, 5.0)
+        s = reg.summary()
+        json.dumps(s)  # must not raise
+        assert s["histograms"]["h"]["count"] == 1
+        assert s["counters"]["c"] == 1.0
+        assert s["gauges"]["g"]["samples"] == 1
+        assert s["gauges"]["g"]["mean"] == 5.0
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()
+
+    def test_render_has_headers(self):
+        reg = MetricsRegistry()
+        reg.histogram("stall_s").observe(0.25)
+        reg.set_counter("wasted_pages", 3.0)
+        out = reg.render()
+        assert "p95" in out
+        assert "stall_s" in out
+        assert "wasted_pages" in out

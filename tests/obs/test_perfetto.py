@@ -1,0 +1,86 @@
+"""Unit tests for the Perfetto / JSONL exporters (repro.obs.perfetto)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.perfetto import US, to_perfetto, trace_events, write_perfetto, write_spans_jsonl
+from repro.obs.spans import SpanTracer
+
+
+def _tracer() -> SpanTracer:
+    tr = SpanTracer()
+    tr.complete("dest/migrant", "compute", 0.5, 0.25, "compute")
+    tr.complete("home/deputy", "serve", 0.6, 0.01, pages=3)
+    tr.instant("dest/migrant", "demand_request", 0.75, vpn=42)
+    tr.counter("home/deputy", "queue", 0.8, 2.0)
+    return tr
+
+
+class TestTraceEvents:
+    def test_metadata_names_processes_and_threads(self):
+        events = trace_events(_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "dest") in names
+        assert ("thread_name", "migrant") in names
+        assert ("process_name", "home") in names
+        assert ("thread_name", "deputy") in names
+
+    def test_complete_event_microseconds(self):
+        events = trace_events(_tracer())
+        (x,) = [e for e in events if e["ph"] == "X" and e["name"] == "compute"]
+        assert x["ts"] == 0.5 * US
+        assert x["dur"] == 0.25 * US
+        assert x["cat"] == "compute"
+
+    def test_instant_and_counter_events(self):
+        events = trace_events(_tracer())
+        (i,) = [e for e in events if e["ph"] == "i"]
+        assert i["name"] == "demand_request"
+        assert i["args"] == {"vpn": 42}
+        (c,) = [e for e in events if e["ph"] == "C"]
+        assert c["args"] == {"value": 2.0}
+
+    def test_body_sorted_by_timestamp(self):
+        events = [e for e in trace_events(_tracer()) if e["ph"] != "M"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_same_track_shares_pid_tid(self):
+        tr = SpanTracer()
+        tr.complete("dest/migrant", "a", 0.0, 0.1)
+        tr.complete("dest/migrant", "b", 0.1, 0.1)
+        xs = [e for e in trace_events(tr) if e["ph"] == "X"]
+        assert xs[0]["pid"] == xs[1]["pid"]
+        assert xs[0]["tid"] == xs[1]["tid"]
+
+    def test_bare_track_name(self):
+        tr = SpanTracer()
+        tr.complete("solo", "s", 0.0, 0.1)
+        meta = [e for e in trace_events(tr) if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {"solo"}
+
+
+class TestWriters:
+    def test_perfetto_document_loads(self, tmp_path):
+        path = write_perfetto(_tracer(), tmp_path / "sub" / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc == to_perfetto(_tracer())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_jsonl_one_record_per_line(self, tmp_path):
+        path = write_spans_jsonl(_tracer(), tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [r["type"] for r in records]
+        assert kinds.count("span") == 2
+        assert kinds.count("instant") == 1
+        assert kinds.count("counter") == 1
+        span = records[0]
+        assert span["bucket"] == "compute"
+        assert span["dur"] == 0.25
+
+    def test_jsonl_empty_tracer(self, tmp_path):
+        path = write_spans_jsonl(SpanTracer(), tmp_path / "empty.jsonl")
+        assert path.read_text() == ""

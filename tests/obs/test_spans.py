@@ -1,0 +1,133 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.timeline import TimeBudget
+from repro.obs.spans import DEPUTY_TRACK, MIGRANT_TRACK, SpanTracer, wire_track
+
+
+class TestComplete:
+    def test_records_exact_duration(self):
+        tr = SpanTracer()
+        span = tr.complete(MIGRANT_TRACK, "compute", 1.0, 0.25, "compute")
+        assert span.dur == 0.25
+        assert span.end == 1.25
+        assert span.bucket == "compute"
+        assert len(tr) == 1
+
+    def test_negative_duration_rejected(self):
+        tr = SpanTracer()
+        with pytest.raises(SimulationError):
+            tr.complete(MIGRANT_TRACK, "compute", 1.0, -1e-9)
+
+    def test_args_stored(self):
+        tr = SpanTracer()
+        span = tr.complete(DEPUTY_TRACK, "serve", 0.0, 0.1, pages=4)
+        assert span.args == {"pages": 4}
+
+    def test_no_args_stays_none(self):
+        tr = SpanTracer()
+        assert tr.complete(DEPUTY_TRACK, "serve", 0.0, 0.1).args is None
+
+
+class TestBeginEnd:
+    def test_nesting_depth_per_track(self):
+        tr = SpanTracer()
+        tr.begin(MIGRANT_TRACK, "fault", 0.0)
+        inner = tr.complete(MIGRANT_TRACK, "stall", 0.1, 0.2, "stall")
+        assert inner.depth == 1
+        outer = tr.end(MIGRANT_TRACK, 0.5)
+        assert outer.depth == 0
+        assert outer.name == "fault"
+        assert outer.dur == pytest.approx(0.5)
+
+    def test_end_merges_args(self):
+        tr = SpanTracer()
+        tr.begin(MIGRANT_TRACK, "fault", 0.0, vpn=7)
+        span = tr.end(MIGRANT_TRACK, 1.0, kind="MAJOR")
+        assert span.args == {"vpn": 7, "kind": "MAJOR"}
+
+    def test_end_without_begin_raises(self):
+        tr = SpanTracer()
+        with pytest.raises(SimulationError):
+            tr.end(MIGRANT_TRACK, 1.0)
+
+    def test_end_before_start_raises(self):
+        tr = SpanTracer()
+        tr.begin(MIGRANT_TRACK, "fault", 2.0)
+        with pytest.raises(SimulationError):
+            tr.end(MIGRANT_TRACK, 1.0)
+
+    def test_tracks_nest_independently(self):
+        tr = SpanTracer()
+        tr.begin(MIGRANT_TRACK, "fault", 0.0)
+        tr.begin(DEPUTY_TRACK, "serve", 0.0)
+        assert tr.open_spans == 2
+        tr.end(DEPUTY_TRACK, 0.1)
+        tr.end(MIGRANT_TRACK, 0.2)
+        assert tr.open_spans == 0
+
+
+class TestBucketSums:
+    def test_sequential_accumulation_matches_budget(self):
+        """Same floats added in the same order => exact equality."""
+        durations = [0.1, 0.07, 1e-9, 0.3333333333333333, 0.2]
+        tr = SpanTracer()
+        budget = TimeBudget()
+        for d in durations:
+            tr.complete(MIGRANT_TRACK, "stall", 0.0, d, "stall")
+            budget.stall += d
+        assert tr.bucket_sums()["stall"] == budget.stall
+        tr.verify_budget(budget)
+
+    def test_verify_budget_catches_unattributed_time(self):
+        tr = SpanTracer()
+        budget = TimeBudget()
+        budget.compute = 0.5
+        tr.complete(MIGRANT_TRACK, "compute", 0.0, 0.25, "compute")
+        with pytest.raises(SimulationError, match="unattributed"):
+            tr.verify_budget(budget)
+
+    def test_verify_budget_catches_unknown_bucket(self):
+        tr = SpanTracer()
+        tr.complete(MIGRANT_TRACK, "x", 0.0, 0.1, "not_a_bucket")
+        with pytest.raises(SimulationError, match="unknown buckets"):
+            tr.verify_budget(TimeBudget())
+
+    def test_unbucketed_spans_ignored(self):
+        tr = SpanTracer()
+        tr.complete(DEPUTY_TRACK, "serve", 0.0, 123.0)
+        assert tr.bucket_sums() == {}
+        tr.verify_budget(TimeBudget())
+
+
+class TestQueries:
+    def test_tracks_first_appearance_order(self):
+        tr = SpanTracer()
+        tr.complete("b/x", "s", 0.0, 0.1)
+        tr.instant("a/y", "i", 0.0)
+        tr.counter("c/z", "g", 0.0, 1.0)
+        assert tr.tracks() == ["b/x", "a/y", "c/z"]
+
+    def test_spans_named(self):
+        tr = SpanTracer()
+        tr.complete(MIGRANT_TRACK, "stall", 0.0, 0.1)
+        tr.complete(MIGRANT_TRACK, "compute", 0.1, 0.2)
+        tr.complete(MIGRANT_TRACK, "stall", 0.3, 0.1)
+        assert len(tr.spans_named("stall")) == 2
+
+
+class TestWireHook:
+    def test_hook_records_submission_to_arrival(self):
+        tr = SpanTracer()
+        hook = tr.wire_hook()
+        hook("home->dest", 1.0, 1.5, 4096, 1.6)
+        (span,) = tr.spans
+        assert span.track == wire_track("home->dest")
+        assert span.name == "msg"
+        assert span.start == 1.0
+        assert span.dur == pytest.approx(0.6)
+        assert span.args == {"bytes": 4096}

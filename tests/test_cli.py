@@ -138,6 +138,148 @@ def test_run_fault_json_carries_reliability_counters(capsys):
     assert counters["request_timeouts"] > 0
 
 
+def test_run_json_always_carries_reliability_counters(capsys):
+    """Fault-free --json runs report the reliability counters too (as zeros)."""
+    import json
+
+    rc = main(
+        ["run", "--kernel", "STREAM", "--mb", "115", "--scheme", "AMPoM", "--scale", SMALL, "--json"]
+    )
+    assert rc == 0
+    counters = json.loads(capsys.readouterr().out)["counters"]
+    for key in (
+        "retransmits",
+        "request_timeouts",
+        "prefetch_writeoffs",
+        "deputy_crash_detections",
+        "messages_dropped",
+        "messages_duplicated",
+        "messages_delayed",
+    ):
+        assert counters[key] == 0
+
+
+def test_run_with_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--trace",
+            str(out),
+            "--metrics",
+        ]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert out.exists()
+    doc = json.loads(out.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    assert "stall_s" in text  # metrics report printed
+
+
+def test_run_json_with_metrics_embeds_summary(capsys):
+    import json
+
+    rc = main(
+        [
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--metrics",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["metrics"]) == {"histograms", "counters", "gauges"}
+
+
+def test_trace_run_case(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    rc = main(["trace", "run", "--case", "ampom_pipeline", "--out", str(out)])
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "span-exact" in text
+    doc = json.loads(out.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_trace_run_custom_cell_flame(capsys):
+    rc = main(
+        [
+            "trace",
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--format",
+            "flame",
+            "--metrics",
+        ]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "wall %" in text
+    assert "dest/migrant" in text
+
+
+def test_trace_run_inspect_echoes_snapshots(capsys):
+    rc = main(
+        [
+            "trace",
+            "run",
+            "--kernel",
+            "STREAM",
+            "--mb",
+            "115",
+            "--scheme",
+            "AMPoM",
+            "--scale",
+            SMALL,
+            "--format",
+            "flame",
+            "--inspect",
+            "0.05",
+        ]
+    )
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "[inspect]" in text
+
+
+def test_trace_run_rejects_mixed_selectors(capsys):
+    rc = main(["trace", "run", "--case", "ampom_pipeline", "--kernel", "STREAM"])
+    assert rc == 2
+
+
+def test_trace_run_rejects_incomplete_cell(capsys):
+    rc = main(["trace", "run", "--kernel", "STREAM", "--mb", "115"])
+    assert rc == 2
+
+
 def test_freeze_command(capsys):
     rc = main(["freeze", "--kernel", "DGEMM", "--mb", "575", "--scheme", "openMosix"])
     out = capsys.readouterr().out

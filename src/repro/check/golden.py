@@ -43,9 +43,12 @@ class GoldenScenario:
     scale: float = 1.0 / 16.0
     seed: int = 0
     faults: FaultSpec = field(default_factory=FaultSpec)
+    #: Multi-hop migration path (empty = the classic home->dest run).
+    path: tuple[str, ...] = ()
+    hop_delays: tuple[float, ...] = ()
 
     def header(self) -> dict:
-        return {
+        header = {
             "format": TRACE_FORMAT,
             "scenario": self.name,
             "kernel": self.kernel,
@@ -58,6 +61,12 @@ class GoldenScenario:
             "delay_rate": self.faults.delay_rate,
             "deputy_crash_windows": [list(w) for w in self.faults.deputy_crash_windows],
         }
+        if self.path:
+            # Only multi-hop scenarios carry these keys, so the original
+            # two-node golden files stay byte-identical.
+            header["path"] = list(self.path)
+            header["hop_delays"] = list(self.hop_delays)
+        return header
 
 
 #: The fixed scenario matrix: seed workloads × fault specs.  Small sizes
@@ -85,6 +94,27 @@ SCENARIOS: tuple[GoldenScenario, ...] = (
         seed=3,
         faults=FaultSpec(deputy_crash_windows=((0.5, 0.9),)),
     ),
+    # Multi-hop re-migration (section 3.2): home -> n1 -> n2 with a
+    # transit deputy left on n1 (AMPoM), a full re-ship (openMosix), and
+    # a re-flush to the file server (FFA).
+    GoldenScenario(
+        "three_hop_ampom", "DGEMM", 115, "AMPoM",
+        path=("home", "n1", "n2"), hop_delays=(0.25,),
+    ),
+    GoldenScenario(
+        "three_hop_openmosix", "DGEMM", 115, "openMosix",
+        path=("home", "n1", "n2"), hop_delays=(0.25,),
+    ),
+    GoldenScenario(
+        "three_hop_ffa", "DGEMM", 115, "FFA",
+        path=("home", "n1", "n2"), hop_delays=(0.25,),
+    ),
+    GoldenScenario(
+        "three_hop_ampom_lossy", "DGEMM", 115, "AMPoM",
+        seed=7,
+        faults=FaultSpec(loss_rate=0.05, duplicate_rate=0.02, delay_rate=0.1, delay_s=0.005),
+        path=("home", "n1", "n2"), hop_delays=(0.25,),
+    ),
 )
 
 
@@ -111,18 +141,53 @@ def run_scenario(scenario: GoldenScenario, obs=None) -> list[str]:
     exactly that.
     """
     from ..cluster.runner import MigrationRun
-    from ..experiments import figures
     from ..workloads.hpcc import hpcc_workload
 
     fault_log = FaultLog()
-    run = MigrationRun(
-        hpcc_workload(scenario.kernel, scenario.memory_mb, scale=scenario.scale),
-        figures.make_strategy(scenario.scheme),
-        config=_scenario_config(scenario),
-        fault_log=fault_log,
-        obs=obs,
-    )
-    result = run.execute()
+    workload = hpcc_workload(scenario.kernel, scenario.memory_mb, scale=scenario.scale)
+    if len(scenario.path) > 2:
+        from ..cluster.session import ScenarioRuntime
+        from ..cluster.topology import (
+            FILE_SERVER,
+            MigrantSpec,
+            NodeGraph,
+            ScenarioSpec,
+            _wants_file_server,
+            make_strategy,
+        )
+
+        strategy = make_strategy(scenario.scheme)
+        nodes = list(scenario.path)
+        if _wants_file_server(strategy):
+            nodes.append(FILE_SERVER)
+        runtime = ScenarioRuntime(
+            ScenarioSpec(
+                graph=NodeGraph(tuple(nodes)),
+                migrants=(
+                    MigrantSpec(
+                        workload=workload,
+                        strategy=strategy,
+                        path=scenario.path,
+                        hop_delays=scenario.hop_delays,
+                        fault_log=fault_log,
+                    ),
+                ),
+                config=_scenario_config(scenario),
+            ),
+            obs=obs,
+        )
+        result = runtime.execute()[0]
+    else:
+        from ..experiments import figures
+
+        run = MigrationRun(
+            workload,
+            figures.make_strategy(scenario.scheme),
+            config=_scenario_config(scenario),
+            fault_log=fault_log,
+            obs=obs,
+        )
+        result = run.execute()
 
     lines = [json.dumps(scenario.header(), sort_keys=True)]
     for event in fault_log.events():

@@ -281,7 +281,18 @@ class InvariantChecker:
                 f"{sorted(drift)[:8]}",
             )
 
-        hpt_pages = self.outcome.hpt.pages
+        # After a multi-hop re-migration the pages left behind are split
+        # across the home deputy and one transit deputy per intermediate
+        # node (section 3.2); the HPT bound holds for the union of all
+        # their ledgers.
+        service = self.outcome.page_service
+        deputies = getattr(service, "deputies", None)
+        if deputies is not None:
+            hpt_pages = set()
+            for deputy in deputies:
+                hpt_pages |= deputy.hpt.pages
+        else:
+            hpt_pages = self.outcome.hpt.pages
         stray = hpt_pages - (sets["remote"] | sets["in_flight"])
         if stray:
             self._fail(
@@ -300,6 +311,11 @@ class InvariantChecker:
                     f"{sorted(missing)[:8]}",
                 )
 
-        deputy = getattr(self.outcome.page_service, "deputy", None)
-        if deputy is not None and not hasattr(self.outcome.page_service, "flush_times"):
-            deputy.audit_ledger()
+        if not hasattr(service, "flush_times"):
+            if deputies is not None:
+                for deputy in deputies:
+                    deputy.audit_ledger()
+            else:
+                deputy = getattr(service, "deputy", None)
+                if deputy is not None:
+                    deputy.audit_ledger()

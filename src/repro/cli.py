@@ -160,6 +160,51 @@ def _build_parser() -> argparse.ArgumentParser:
     headline = sub.add_parser("headline", help="print the headline-claim summary")
     headline.add_argument("--scale", type=float, default=figures.DEFAULT_SCALE)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="declarative cluster scenarios (see docs/CLUSTER.md)",
+        description="Run a declarative ScenarioSpec — a node graph with "
+        "per-link overrides and any number of (possibly multi-hop) "
+        "migrants — from a named preset or a JSON spec file.",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    crun = cluster_sub.add_parser(
+        "run", help="execute a preset or a JSON scenario spec file"
+    )
+    from .cluster.topology import PRESETS as _CLUSTER_PRESETS
+
+    source = crun.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--preset",
+        choices=tuple(_CLUSTER_PRESETS),
+        default=None,
+        help="named scenario preset",
+    )
+    source.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON scenario spec file (shape: see docs/CLUSTER.md)",
+    )
+    crun.add_argument(
+        "--scheme",
+        choices=("AMPoM", "openMosix", "FFA", "NoPrefetch"),
+        default=None,
+        help="migration scheme for --preset runs (default AMPoM)",
+    )
+    crun.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="size scale factor for --preset runs (default 1/16)",
+    )
+    crun.add_argument(
+        "--seed", type=int, default=None, help="seed for --preset runs (default 0)"
+    )
+    crun.add_argument(
+        "--json", action="store_true", help="emit per-migrant results as JSON"
+    )
+
     check = sub.add_parser(
         "check",
         help="golden-trace regression harness (see docs/CHECKS.md)",
@@ -651,6 +696,68 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster.session import ScenarioRuntime
+    from .cluster.topology import build_preset, load_scenario
+
+    if args.spec is not None:
+        for opt in ("scheme", "scale", "seed"):
+            if getattr(args, opt) is not None:
+                print(f"cluster run: --{opt} applies to --preset runs only")
+                return 2
+        spec = load_scenario(args.spec)
+        label = args.spec
+    else:
+        spec = build_preset(
+            args.preset,
+            scheme=args.scheme if args.scheme is not None else "AMPoM",
+            scale=args.scale if args.scale is not None else 1 / 16,
+            seed=args.seed if args.seed is not None else 0,
+        )
+        label = f"preset {args.preset}"
+    runtime = ScenarioRuntime(spec)
+    results = runtime.execute()
+    if args.json:
+        import json
+
+        payload = []
+        for migrant, result in zip(spec.migrants, results):
+            entry = result.to_dict()
+            entry["name"] = migrant.name
+            entry["path"] = list(migrant.path)
+            payload.append(entry)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{label}: {len(spec.graph.nodes)} nodes, "
+        f"{len(spec.migrants)} migrant(s), makespan {runtime.sim.now:.4f} s"
+    )
+    rows = []
+    for i, (migrant, result) in enumerate(zip(spec.migrants, results)):
+        rows.append(
+            [
+                migrant.name or f"migrant-{i}",
+                "->".join(migrant.path),
+                f"{result.freeze_time:.4f}",
+                f"{result.run_time:.4f}",
+                f"{result.total_time:.4f}",
+                result.counters.page_fault_requests,
+                result.counters.pages_prefetched,
+            ]
+        )
+    print(
+        format_table(
+            ["migrant", "path", "freeze s", "run s", "total s", "faults", "prefetched"],
+            rows,
+        )
+    )
+    checkers = [c for c in runtime.checkers if c is not None]
+    if checkers:
+        audits = sum(c.deep_audits for c in checkers)
+        print(f"invariant checker: on ({audits} deep audits, no violations)")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -704,6 +811,7 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "export": _cmd_export,
     "check": _cmd_check,
+    "cluster": _cmd_cluster,
     "bench": _cmd_bench,
 }
 

@@ -1,27 +1,70 @@
 """Cluster assembly and end-to-end experiment drivers.
 
-:class:`repro.cluster.runner.MigrationRun` is the main entry point of the
-library: workload + migration strategy + configuration in, an
-:class:`repro.migration.executor.ExecutionResult` out.
+:class:`repro.cluster.topology.ScenarioSpec` +
+:class:`repro.cluster.session.ScenarioRuntime` are the core: a declarative
+node graph with per-link overrides, any number of migrants, multi-hop
+re-migration paths.  :class:`repro.cluster.runner.MigrationRun` remains
+the everyday two-node entry point: workload + migration strategy +
+configuration in, an :class:`repro.migration.executor.ExecutionResult`
+out.
 """
 
 from .cluster import Cluster
 from .gossip import GossipLoadMap
-from .loadgen import BackgroundLoad
+from .loadgen import BackgroundLoad, LoadWindow
 from .multi import MultiMigrationRun
 from .parallel import parallel_map, resolve_jobs
 from .runner import MigrationRun
-from .scheduler import ClusterScheduler, SchedulerReport, Task
+from .scheduler import (
+    ClusterScheduler,
+    MigrationDecision,
+    SchedulerDriveResult,
+    SchedulerDriver,
+    SchedulerReport,
+    Task,
+)
+from .session import ScenarioRuntime
+from .topology import (
+    DEST,
+    FILE_SERVER,
+    HOME,
+    LinkSpec,
+    MigrantSpec,
+    NodeGraph,
+    PRESETS,
+    ScenarioSpec,
+    build_preset,
+    load_scenario,
+    scenario_from_dict,
+    two_node_spec,
+)
 
 __all__ = [
     "BackgroundLoad",
     "Cluster",
-    "GossipLoadMap",
     "ClusterScheduler",
+    "DEST",
+    "FILE_SERVER",
+    "GossipLoadMap",
+    "HOME",
+    "LinkSpec",
+    "LoadWindow",
+    "MigrantSpec",
+    "MigrationDecision",
     "MigrationRun",
     "MultiMigrationRun",
+    "NodeGraph",
+    "PRESETS",
+    "ScenarioRuntime",
+    "ScenarioSpec",
+    "SchedulerDriveResult",
+    "SchedulerDriver",
     "SchedulerReport",
     "Task",
+    "build_preset",
+    "load_scenario",
     "parallel_map",
     "resolve_jobs",
+    "scenario_from_dict",
+    "two_node_spec",
 ]

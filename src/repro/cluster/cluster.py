@@ -1,4 +1,8 @@
-"""Cluster: a set of nodes fully connected by identical links.
+"""Cluster: a set of nodes fully connected by point-to-point links.
+
+Links default to the config's shared :class:`NetworkSpec`; ``link_specs``
+replaces individual links (keyed by either endpoint order) for
+heterogeneous topologies — e.g. a slow WAN hop in a migration path.
 
 The paper's testbed (HKU Gideon 300) is a Fast-Ethernet switched cluster;
 for the two- and three-node experiments a full mesh of point-to-point
@@ -8,9 +12,9 @@ simplification.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
-from ..config import SimulationConfig
+from ..config import NetworkSpec, SimulationConfig
 from ..errors import ConfigurationError
 from ..net.network import Network
 from ..net.shaper import TrafficShaper
@@ -26,6 +30,7 @@ class Cluster:
         sim: Simulator,
         config: SimulationConfig,
         node_names: Sequence[str] = ("home", "dest"),
+        link_specs: Mapping[tuple[str, str], NetworkSpec] | None = None,
     ) -> None:
         if len(node_names) < 2:
             raise ConfigurationError("a cluster needs at least two nodes")
@@ -40,7 +45,12 @@ class Cluster:
         names = list(node_names)
         for i, a in enumerate(names):
             for b in names[i + 1 :]:
-                self.network.connect(a, b, config.network)
+                spec = config.network
+                if link_specs:
+                    override = link_specs.get((a, b)) or link_specs.get((b, a))
+                    if override is not None:
+                        spec = override
+                self.network.connect(a, b, spec)
 
     def node(self, name: str) -> Node:
         try:

@@ -14,26 +14,39 @@ their remote paging then *competes* for the same links and CPUs:
 * the destination CPU is proportionally shared, feeding the ``c``/``c'``
   terms of eq. 3.
 
-:class:`MultiMigrationRun` launches one migrant per workload (optionally
-staggered) between a shared home and destination node and reports every
-:class:`~repro.migration.executor.ExecutionResult`.
+:class:`MultiMigrationRun` is a thin compatibility wrapper: it builds a
+staggered multi-migrant two-node :class:`~repro.cluster.topology.ScenarioSpec`
+and delegates all wiring to
+:class:`~repro.cluster.session.ScenarioRuntime`.  It accepts the same
+shared keyword arguments as :class:`~repro.cluster.runner.MigrationRun`
+(asserted by the wrapper-parity test).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..config import SimulationConfig
 from ..errors import MigrationError
-from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
-from ..migration.executor import ExecutionResult, MigrantExecutor
-from ..node.infod import InfoDaemon
-from ..sim import Simulator, Timeout
+from ..metrics.eventlog import FaultLog
+from ..migration.executor import ExecutionResult
 from ..workloads.base import Workload
-from .cluster import Cluster
+from .session import ScenarioRuntime
+from .topology import (
+    DEST,
+    FILE_SERVER,
+    HOME,
+    LinkSpec,
+    MigrantSpec,
+    NodeGraph,
+    ScenarioSpec,
+    _wants_file_server,
+)
 
-HOME = "home"
-DEST = "dest"
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
+
+__all__ = ["DEST", "HOME", "MultiMigrationRun"]
 
 
 class MultiMigrationRun:
@@ -46,6 +59,12 @@ class MultiMigrationRun:
         config: SimulationConfig | None = None,
         stagger_s: float = 0.0,
         with_infod: bool = True,
+        shaped_bandwidth_bps: float | None = None,
+        shaped_latency_s: float | None = None,
+        max_events: int | None = None,
+        capacity_pages: int | None = None,
+        fault_log: "FaultLog | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if not workloads:
             raise MigrationError("need at least one workload")
@@ -53,86 +72,93 @@ class MultiMigrationRun:
             raise MigrationError(f"stagger_s must be non-negative: {stagger_s}")
         self.workloads = list(workloads)
         self.strategy_factory = strategy_factory
-        self.config = config if config is not None else SimulationConfig()
         self.stagger_s = stagger_s
         self.with_infod = with_infod
+        self.shaped_bandwidth_bps = shaped_bandwidth_bps
+        self.shaped_latency_s = shaped_latency_s
+        self.max_events = max_events
+        self.capacity_pages = capacity_pages
+        self.fault_log = fault_log
 
-        self.sim = Simulator()
-        self.cluster = Cluster(self.sim, self.config, [HOME, DEST])
-        self.outcomes: list[MigrationOutcome | None] = [None] * len(self.workloads)
-        self.results: list[ExecutionResult | None] = [None] * len(self.workloads)
-        self.infod: InfoDaemon | None = None
-        self._executed = False
-
-    # ------------------------------------------------------------------
-    def _shared_infod(self) -> InfoDaemon:
-        if self.infod is None:
-            self.infod = InfoDaemon(
-                self.sim,
-                self.cluster.node(DEST),
-                to_home=self.cluster.network.direction(DEST, HOME),
-                from_home=self.cluster.network.direction(HOME, DEST),
-                config=self.config.infod,
-                min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
+        nodes = [HOME, DEST]
+        if _wants_file_server(strategy_factory):
+            nodes.append(FILE_SERVER)
+        links: tuple[LinkSpec, ...] = ()
+        if shaped_bandwidth_bps is not None or shaped_latency_s is not None:
+            links = (
+                LinkSpec(
+                    HOME,
+                    DEST,
+                    shaped_bandwidth_bps=shaped_bandwidth_bps,
+                    shaped_latency_s=shaped_latency_s,
+                ),
             )
-        return self.infod
-
-    def _migrant(self, index: int, workload: Workload):
-        yield Timeout(index * self.stagger_s)
-        strategy: MigrationStrategy = self.strategy_factory()
-        space = workload.setup()
-        ctx = MigrationContext(
-            sim=self.sim,
-            network=self.cluster.network,
-            hardware=self.config.hardware,
-            ampom=self.config.ampom,
-            src=HOME,
-            dst=DEST,
-            address_space=space,
-            premigration_pages=workload.premigration_pages(),
+        migrants = tuple(
+            MigrantSpec(
+                workload=workload,
+                strategy=strategy_factory,
+                path=(HOME, DEST),
+                start_s=i * stagger_s,
+                with_infod=with_infod,
+                capacity_pages=capacity_pages,
+                fault_log=fault_log,
+            )
+            for i, workload in enumerate(self.workloads)
         )
-        outcome = strategy.perform(ctx)
-        self.outcomes[index] = outcome
-        infod = None
-        if self.with_infod and outcome.policy is not None:
-            infod = self._shared_infod()
-        yield Timeout(outcome.freeze_time)
-        executor = MigrantExecutor(
-            sim=self.sim,
-            workload=workload,
-            outcome=outcome,
-            node=self.cluster.node(DEST),
-            hardware=self.config.hardware,
-            infod=infod,
+        self._runtime = ScenarioRuntime(
+            ScenarioSpec(
+                graph=NodeGraph(tuple(nodes), links),
+                migrants=migrants,
+                config=config,
+                max_events=max_events,
+            ),
+            obs=obs,
         )
-        proc = executor.start()
-        result = yield proc
-        if proc.error is not None:
-            raise proc.error
-        self.results[index] = result
-        return result
 
-    # ------------------------------------------------------------------
+    # -- delegated state -------------------------------------------------
+    @property
+    def config(self) -> SimulationConfig:
+        return self._runtime.config
+
+    @property
+    def obs(self):
+        return self._runtime.obs
+
+    @property
+    def sim(self):
+        return self._runtime.sim
+
+    @property
+    def cluster(self):
+        return self._runtime.cluster
+
+    @property
+    def outcomes(self):
+        return self._runtime.outcomes
+
+    @property
+    def results(self):
+        return self._runtime.results
+
+    @property
+    def infod(self):
+        """The shared destination InfoDaemon (``None`` until a migrant
+        with a prefetch policy needs one)."""
+        for infod in self._runtime.migrant_infods:
+            if infod is not None:
+                return infod
+        return None
+
+    # --------------------------------------------------------------------
     def execute(self) -> list[ExecutionResult]:
         """Run all migrants to completion; returns their results in order."""
-        if self._executed:
+        if self._runtime.executed:
             raise MigrationError("MultiMigrationRun objects are single-use")
-        self._executed = True
-        procs = [
-            self.sim.spawn(self._migrant(i, w), name=f"migrant-{i}")
-            for i, w in enumerate(self.workloads)
-        ]
-        for proc in procs:
-            self.sim.run_until_complete(proc)
-        if self.infod is not None:
-            self.infod.stop()
-        assert all(r is not None for r in self.results)
-        return list(self.results)  # type: ignore[arg-type]
+        return self._runtime.execute()
 
-    # ------------------------------------------------------------------
     @property
     def makespan(self) -> float:
         """Time until the last migrant finished."""
-        if not self._executed:
+        if not self._runtime.executed:
             raise MigrationError("call execute() first")
-        return self.sim.now
+        return self._runtime.sim.now

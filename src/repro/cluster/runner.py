@@ -5,6 +5,12 @@ allocates its memory on the home node (every data page dirty), migration is
 initiated immediately, and the kernel then executes to completion on the
 destination while its faults are served remotely.
 
+:class:`MigrationRun` is a thin compatibility wrapper: it builds the
+classic two-node :class:`~repro.cluster.topology.ScenarioSpec` via
+:func:`~repro.cluster.topology.two_node_spec` and delegates everything —
+node, link, fault, and daemon wiring included — to
+:class:`~repro.cluster.session.ScenarioRuntime`.
+
 Example
 -------
 >>> from repro.cluster import MigrationRun
@@ -23,24 +29,17 @@ from typing import TYPE_CHECKING
 
 from ..config import SimulationConfig
 from ..errors import MigrationError
-from ..faults import FaultInjectionLog, FaultPlan, install_lossy_link
-from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
+from ..migration.base import MigrationOutcome, MigrationStrategy
 from ..metrics.eventlog import FaultLog
-from ..migration.executor import ExecutionResult, MigrantExecutor
-from ..migration.ffa import FfaMigration
-from ..net.shaper import TrafficShaper
-from ..node.infod import InfoDaemon
-from ..obs.spans import MIGRANT_TRACK
-from ..sim import Simulator, Timeout
-from ..sim.rng import child_rng
+from ..migration.executor import ExecutionResult
 from ..workloads.base import Workload
+from .session import ScenarioRuntime
+from .topology import DEST, FILE_SERVER, HOME, two_node_spec
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
 
-HOME = "home"
-DEST = "dest"
-FILE_SERVER = "fs"
+__all__ = ["DEST", "FILE_SERVER", "HOME", "MigrationRun"]
 
 
 class MigrationRun:
@@ -61,7 +60,6 @@ class MigrationRun:
     ) -> None:
         self.workload = workload
         self.strategy = strategy
-        self.config = config if config is not None else SimulationConfig()
         self.with_infod = with_infod
         self.shaped_bandwidth_bps = shaped_bandwidth_bps
         self.shaped_latency_s = shaped_latency_s
@@ -71,65 +69,64 @@ class MigrationRun:
         self.capacity_pages = capacity_pages
         #: Optional per-fault event log (see repro.metrics.eventlog).
         self.fault_log = fault_log
-        #: Optional repro.obs bundle; ``None`` (or an all-``None`` bundle)
-        #: keeps every hook detached and the simulator's no-observer fast
-        #: path intact.
-        self.obs = obs if obs is not None and obs.active else None
+        self._runtime = ScenarioRuntime(
+            two_node_spec(
+                workload,
+                strategy,
+                config=config,
+                with_infod=with_infod,
+                shaped_bandwidth_bps=shaped_bandwidth_bps,
+                shaped_latency_s=shaped_latency_s,
+                max_events=max_events,
+                capacity_pages=capacity_pages,
+                fault_log=fault_log,
+            ),
+            obs=obs,
+        )
 
-        self.sim = Simulator()
-        node_names = [HOME, DEST]
-        if isinstance(strategy, FfaMigration):
-            node_names.append(FILE_SERVER)
-        from .cluster import Cluster  # local import to avoid a cycle
+    # -- delegated state -------------------------------------------------
+    @property
+    def config(self) -> SimulationConfig:
+        return self._runtime.config
 
-        self.cluster = Cluster(self.sim, self.config, node_names)
-        self.outcome: MigrationOutcome | None = None
-        self.infod: InfoDaemon | None = None
-        self.result: ExecutionResult | None = None
-        #: The attached invariant checker when config.checks.enabled.
-        self.checker = None
+    @property
+    def obs(self):
+        return self._runtime.obs
 
-        # Fault injection: when the spec can perturb anything, wrap the
-        # home<->dest link in lossy directions driven by a seeded plan.
-        # Random injection is armed only once the migrant resumes (see
-        # _scenario), so the freeze-time bulk transfer stays untouched.
-        self.fault_plan: FaultPlan | None = None
-        self.injection_log: FaultInjectionLog | None = None
-        if self.config.faults.active:
-            if isinstance(strategy, FfaMigration):
-                raise MigrationError(
-                    "fault injection requires a deputy-backed scheme; the FFA "
-                    "file-server protocol has no retransmission path"
-                )
-            self.injection_log = FaultInjectionLog()
-            self.fault_plan = FaultPlan(
-                self.config.faults,
-                seed=self.config.seed,
-                log=self.injection_log,
-                active_from=float("inf"),
-            )
-            install_lossy_link(self.cluster.network, HOME, DEST, self.fault_plan)
+    @property
+    def sim(self):
+        return self._runtime.sim
 
-        if (shaped_bandwidth_bps is None) != (shaped_latency_s is None):
-            raise MigrationError(
-                "shaped_bandwidth_bps and shaped_latency_s must be set together"
-            )
-        if shaped_bandwidth_bps is not None:
-            # Section 5.5: tc/iptables shaping of the home<->dest link.
-            shaper = TrafficShaper(self.cluster.network.link_between(HOME, DEST))
-            shaper.apply(shaped_bandwidth_bps, shaped_latency_s)
+    @property
+    def cluster(self):
+        return self._runtime.cluster
 
-        # Wire-occupancy spans: attach the tracer's hook to both directions
-        # of the home<->dest link (after any lossy wrapping, so injected
-        # runs trace the wrapper's base transfers).  Pure observer — the
-        # hook only records; arrival arithmetic is unchanged.
-        if self.obs is not None and self.obs.tracer is not None:
-            hook = self.obs.tracer.wire_hook()
-            network = self.cluster.network
-            network.direction(HOME, DEST).trace_hook = hook
-            network.direction(DEST, HOME).trace_hook = hook
+    @property
+    def fault_plan(self):
+        return self._runtime.fault_plan
 
-    # ------------------------------------------------------------------
+    @property
+    def injection_log(self):
+        return self._runtime.injection_log
+
+    @property
+    def checker(self):
+        """The attached invariant checker when config.checks.enabled."""
+        return self._runtime.checkers[0]
+
+    @property
+    def infod(self):
+        return self._runtime.migrant_infods[0]
+
+    @property
+    def outcome(self) -> MigrationOutcome | None:
+        return self._runtime.outcomes[0]
+
+    @property
+    def result(self) -> ExecutionResult | None:
+        return self._runtime.results[0]
+
+    # --------------------------------------------------------------------
     def measure_freeze(self) -> MigrationOutcome:
         """Perform only the migration freeze (no trace execution).
 
@@ -139,179 +136,10 @@ class MigrationRun:
         """
         if self.result is not None or self.outcome is not None:
             raise MigrationError("MigrationRun objects are single-use")
-        space = self.workload.setup()
-        ctx = MigrationContext(
-            sim=self.sim,
-            network=self.cluster.network,
-            hardware=self.config.hardware,
-            ampom=self.config.ampom,
-            src=HOME,
-            dst=DEST,
-            address_space=space,
-            premigration_pages=self.workload.premigration_pages(),
-            file_server=FILE_SERVER if isinstance(self.strategy, FfaMigration) else None,
-            fault_plan=self.fault_plan,
-        )
-        self.outcome = self.strategy.perform(ctx)
-        return self.outcome
+        return self._runtime.measure_freeze(0)
 
     def execute(self) -> ExecutionResult:
         """Run the whole scenario; returns the measured result."""
-        if self.result is not None or self.outcome is not None:
+        if self._runtime.executed or self.outcome is not None:
             raise MigrationError("MigrationRun objects are single-use")
-        space = self.workload.setup()
-        ctx = MigrationContext(
-            sim=self.sim,
-            network=self.cluster.network,
-            hardware=self.config.hardware,
-            ampom=self.config.ampom,
-            src=HOME,
-            dst=DEST,
-            address_space=space,
-            premigration_pages=self.workload.premigration_pages(),
-            file_server=FILE_SERVER if isinstance(self.strategy, FfaMigration) else None,
-            fault_plan=self.fault_plan,
-        )
-        main = self.sim.spawn(self._scenario(ctx), name="scenario")
-        result = self.sim.run_until_complete(main, max_events=self.max_events)
-        assert isinstance(result, ExecutionResult)
-        self.result = result
-        return result
-
-    def _make_checker(self, outcome: MigrationOutcome, executor: MigrantExecutor):
-        """Attach the repro.check invariant checker + oracle (observers)."""
-        from ..check import DifferentialOracle, InvariantChecker
-
-        checker = InvariantChecker(
-            self.config.checks, self.sim, outcome, executor.counters
-        )
-        executor.checker = checker
-        self.checker = checker
-        self.sim.add_observer(checker.on_sim_event)
-        if self.config.checks.oracle and hasattr(outcome.policy, "check_oracle"):
-            outcome.policy.check_oracle = DifferentialOracle()
-        return checker
-
-    def _scenario(self, ctx: MigrationContext):
-        obs = self.obs
-        tracer = obs.tracer if obs is not None else None
-        outcome = self.strategy.perform(ctx)
-        self.outcome = outcome
-        if self.with_infod and outcome.policy is not None:
-            self.infod = InfoDaemon(
-                self.sim,
-                self.cluster.node(DEST),
-                to_home=self.cluster.network.direction(DEST, HOME),
-                from_home=self.cluster.network.direction(HOME, DEST),
-                config=self.config.infod,
-                min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
-            )
-        if self.fault_plan is not None:
-            # Faults begin the instant the migrant resumes.
-            self.fault_plan.activate(self.sim.now + outcome.freeze_time)
-        if tracer is not None:
-            # The freeze span pairs with the executor's ``budget.freeze =
-            # outcome.freeze_time`` charge — same float, recorded first, so
-            # bucket_sums()["freeze"] reproduces the budget bit for bit.
-            tracer.complete(
-                MIGRANT_TRACK,
-                "freeze",
-                self.sim.now,
-                outcome.freeze_time,
-                "freeze",
-                strategy=outcome.strategy,
-                pages=outcome.pages_shipped,
-            )
-        yield Timeout(outcome.freeze_time)
-        executor = MigrantExecutor(
-            sim=self.sim,
-            workload=self.workload,
-            outcome=outcome,
-            node=self.cluster.node(DEST),
-            hardware=self.config.hardware,
-            infod=self.infod,
-            capacity_pages=self.capacity_pages,
-            fault_log=self.fault_log,
-            retry=self.config.retry if self.fault_plan is not None else None,
-            retry_rng=(
-                child_rng(self.config.seed, "retry") if self.fault_plan is not None else None
-            ),
-            injection_log=self.injection_log,
-            obs=obs,
-        )
-        checker = None
-        if self.config.checks.enabled:
-            checker = self._make_checker(outcome, executor)
-        observers = self._attach_observers(outcome, executor)
-        proc = executor.start()
-        result = yield proc
-        if proc.error is not None:
-            raise proc.error
-        if checker is not None:
-            checker.final_audit()
-            self.sim.remove_observer(checker.on_sim_event)
-        for callback in observers:
-            self.sim.remove_observer(callback)
-        if self.infod is not None:
-            self.infod.stop()
-        if obs is not None and obs.metrics is not None:
-            self._finalize_metrics(obs.metrics, result)
-        return result
-
-    # ------------------------------------------------------------------
-    def _attach_observers(self, outcome: MigrationOutcome, executor: MigrantExecutor):
-        """Register obs gauge samplers / inspector probes with the
-        simulator; returns the observer callbacks to detach at run end."""
-        obs = self.obs
-        if obs is None:
-            return ()
-        from ..obs import GaugeSampler
-        from ..obs.spans import DEPUTY_TRACK
-
-        sim = self.sim
-        observers = []
-        deputy = getattr(outcome.page_service, "deputy", None)
-        if deputy is not None:
-            deputy.obs = obs
-        if deputy is not None and (obs.metrics is not None or obs.tracer is not None):
-            sampler = GaugeSampler(
-                "deputy_queue_depth_s",
-                DEPUTY_TRACK,
-                lambda: max(0.0, deputy.busy_until - sim.now),
-                obs.sample_interval_s,
-                metrics=obs.metrics,
-                tracer=obs.tracer,
-            )
-            sim.add_observer(sampler.on_sim_event)
-            observers.append(sampler.on_sim_event)
-        inspector = obs.inspector
-        if inspector is not None:
-            counters = executor.counters
-            budget = executor.budget
-            inspector.add_probe("major_faults", lambda: float(counters.major_faults))
-            inspector.add_probe(
-                "prefetched", lambda: float(counters.pages_prefetched)
-            )
-            inspector.add_probe("stall_s", lambda: budget.stall)
-            inspector.add_probe("compute_s", lambda: budget.compute)
-            if deputy is not None:
-                inspector.add_probe(
-                    "deputy_queue_s", lambda: max(0.0, deputy.busy_until - sim.now)
-                )
-            sim.add_observer(inspector.on_sim_event)
-            observers.append(inspector.on_sim_event)
-        return observers
-
-    @staticmethod
-    def _finalize_metrics(metrics, result: ExecutionResult) -> None:
-        """Fold end-of-run prefetch accuracy/waste scalars into the registry."""
-        c = result.counters
-        prefetched = c.pages_prefetched
-        wasted = result.wasted_pages
-        metrics.set_counter("pages_prefetched", float(prefetched))
-        metrics.set_counter("pages_demand_fetched", float(c.pages_demand_fetched))
-        metrics.set_counter("wasted_pages", float(wasted))
-        if prefetched > 0:
-            useful = max(prefetched - wasted, 0)
-            metrics.set_counter("prefetch_accuracy", useful / prefetched)
-            metrics.set_counter("prefetch_waste_fraction", wasted / prefetched)
+        return self._runtime.execute()[0]

@@ -55,6 +55,18 @@ class Task:
 
 
 @dataclass(frozen=True, slots=True)
+class MigrationDecision:
+    """One placement decision taken by the balancer: move ``task`` from
+    ``src`` to ``dst`` at simulated ``time``.  The decision log is what
+    :class:`SchedulerDriver` turns into executable migration paths."""
+
+    time: float
+    task: str
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True, slots=True)
 class SchedulerReport:
     """Outcome of one scheduling simulation."""
 
@@ -105,6 +117,8 @@ class ClusterScheduler:
         self.gossip = gossip
         self.migrations = 0
         self.total_frozen_time = 0.0
+        #: Every placement decision in the order it was taken.
+        self.decisions: list[MigrationDecision] = []
         self._pending_freeze: dict[str, float] = {}
         for task in tasks:
             if task.node not in cluster.nodes:
@@ -156,6 +170,9 @@ class ClusterScheduler:
 
     def _migrate(self, task: Task, dest: str) -> None:
         freeze = self.migration_freeze(task)
+        self.decisions.append(
+            MigrationDecision(time=self.sim.now, task=task.name, src=task.node, dst=dest)
+        )
         task.node = dest
         task.migrations += 1
         task.frozen_time += freeze
@@ -228,4 +245,164 @@ class ClusterScheduler:
                 t.name: (t.finished_at if t.finished_at is not None else float("nan"))
                 for t in self.tasks
             },
+        )
+
+
+# ----------------------------------------------------------------------
+# From placement decisions to executed migrations
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class SchedulerDriveResult:
+    """Outcome of one :meth:`SchedulerDriver.execute` run."""
+
+    report: SchedulerReport
+    decisions: list[MigrationDecision]
+    migrants: tuple
+    results: list
+
+
+class SchedulerDriver:
+    """Executes a balancer's placement decisions as real migrations.
+
+    The coarse :class:`ClusterScheduler` treats migration as a pure freeze
+    cost; the paper's claim (section 7) is that AMPoM makes *aggressive*
+    placement affordable.  This driver closes the loop: it runs the
+    balancer over placement tasks derived from real workloads (phase 1),
+    converts its decision log into :class:`MigrantSpec` paths — chained
+    hops for a task moved repeatedly — and executes those on the shared
+    :class:`NodeGraph` with full remote-paging simulation (phase 2).
+    """
+
+    def __init__(
+        self,
+        graph,
+        placements,
+        strategy_factory,
+        config: SimulationConfig | None = None,
+        *,
+        freeze_model: str = "ampom",
+        balance_interval: float = 1.0,
+        load_gap_threshold: int = 2,
+        time_slice: float = 0.1,
+        min_task_lifetime: float = 0.0,
+        gossip=None,
+    ) -> None:
+        #: ``placements`` is a sequence of (workload, home_node) pairs.
+        self.graph = graph
+        self.placements = list(placements)
+        self.strategy_factory = strategy_factory
+        self.config = config if config is not None else SimulationConfig()
+        self.freeze_model = freeze_model
+        self.balance_interval = balance_interval
+        self.load_gap_threshold = load_gap_threshold
+        self.time_slice = time_slice
+        self.min_task_lifetime = min_task_lifetime
+        self.gossip = gossip
+        self.runtime = None
+        if not self.placements:
+            raise ConfigurationError("SchedulerDriver needs at least one placement")
+        names = set(graph.nodes)
+        for i, (_workload, home) in enumerate(self.placements):
+            if home not in names:
+                raise ConfigurationError(
+                    f"placement {i} starts on unknown node {home!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def plan(self) -> tuple[SchedulerReport, list[MigrationDecision]]:
+        """Phase 1: run the balancer on placement tasks; return its report
+        and decision log.  Uses a throwaway simulator — the decisions, not
+        the coarse timing, feed phase 2."""
+        sim = Simulator()
+        cluster = Cluster(
+            sim, self.config, self.graph.nodes, link_specs=self.graph.spec_overrides()
+        )
+        tasks = []
+        for i, (workload, home) in enumerate(self.placements):
+            if workload.address_space is None:
+                # The estimate needs the trace; the runtime re-runs setup()
+                # later (allocation is deterministic, so this is free).
+                workload.setup()
+            tasks.append(
+                Task(
+                    name=f"task-{i}",
+                    cpu_seconds=workload.total_compute_estimate(),
+                    memory_bytes=workload.memory_bytes,
+                    node=home,
+                )
+            )
+        scheduler = ClusterScheduler(
+            sim,
+            cluster,
+            tasks,
+            self.config,
+            freeze_model=self.freeze_model,
+            balance_interval=self.balance_interval,
+            load_gap_threshold=self.load_gap_threshold,
+            time_slice=self.time_slice,
+            min_task_lifetime=self.min_task_lifetime,
+            gossip=self.gossip,
+        )
+        report = scheduler.run()
+        return report, list(scheduler.decisions)
+
+    def migrant_specs(self, decisions) -> tuple:
+        """Convert a decision log into per-task migration paths.
+
+        Consecutive moves of one task chain into a multi-hop path; the
+        chain is cut at the first revisit (the runtime's deputy model
+        does not re-absorb a node already holding a transit deputy)."""
+        from .topology import MigrantSpec
+
+        by_task: dict[str, list[MigrationDecision]] = {}
+        for decision in decisions:
+            by_task.setdefault(decision.task, []).append(decision)
+        specs = []
+        for i, (workload, home) in enumerate(self.placements):
+            moves = by_task.get(f"task-{i}", [])
+            if not moves:
+                continue
+            path = [home]
+            times: list[float] = []
+            for decision in moves:
+                if decision.dst in path:
+                    break
+                path.append(decision.dst)
+                times.append(decision.time)
+            if len(path) < 2:
+                continue
+            hop_delays = tuple(
+                max(times[k + 1] - times[k], self.time_slice)
+                for k in range(len(path) - 2)
+            )
+            specs.append(
+                MigrantSpec(
+                    workload=workload,
+                    strategy=self.strategy_factory,
+                    path=tuple(path),
+                    start_s=times[0],
+                    hop_delays=hop_delays,
+                    name=f"task-{i}",
+                )
+            )
+        return tuple(specs)
+
+    def execute(self, obs=None) -> SchedulerDriveResult:
+        """Phases 1 + 2: plan, then simulate every decided migration."""
+        from .session import ScenarioRuntime
+        from .topology import ScenarioSpec
+
+        report, decisions = self.plan()
+        migrants = self.migrant_specs(decisions)
+        results: list = []
+        if migrants:
+            self.runtime = ScenarioRuntime(
+                ScenarioSpec(graph=self.graph, migrants=migrants, config=self.config),
+                obs=obs,
+            )
+            results = self.runtime.execute()
+        return SchedulerDriveResult(
+            report=report, decisions=decisions, migrants=migrants, results=results
         )

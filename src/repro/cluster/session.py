@@ -1,0 +1,494 @@
+"""ScenarioRuntime: executes a declarative :class:`ScenarioSpec`.
+
+One runtime owns the simulator, the cluster (nodes + full-mesh network
+with per-link overrides), the shared fault plan, and every migrant
+process.  Each migrant walks its :class:`MigrantSpec.path`:
+
+* the first hop is a normal migration (``strategy.perform``);
+* every further hop preempts the executor between trace events, quiesces
+  the in-flight pages, and calls ``strategy.rehop`` — AMPoM and
+  NoPrefetch leave a *transit deputy* holding the pages left behind
+  (paper section 3.2), openMosix ships everything, FFA re-flushes to the
+  file server.  The home deputy (system calls, home-resident pages)
+  stays on ``path[0]`` for the whole journey and its reply channel is
+  rebound at each hop — the home-dependency forwarding of section 3.2.
+
+The legacy drivers :class:`repro.cluster.runner.MigrationRun` and
+:class:`repro.cluster.multi.MultiMigrationRun` are thin wrappers over
+this class; single-migrant two-node scenarios reproduce their event
+sequence exactly (same events, same floats).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..errors import MigrationError
+from ..faults import FaultInjectionLog, FaultPlan, install_lossy_link
+from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
+from ..migration.executor import ExecutionResult, MigrantExecutor
+from ..migration.ffa import FfaMigration
+from ..net.shaper import TrafficShaper
+from ..node.infod import InfoDaemon
+from ..obs.spans import MIGRANT_TRACK
+from ..sim import Simulator, Timeout
+from ..sim.rng import child_rng
+from .cluster import Cluster
+from .loadgen import BackgroundLoad
+from .topology import FILE_SERVER, MigrantSpec, ScenarioSpec, resolve_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
+
+
+class ScenarioRuntime:
+    """Builds and executes one :class:`ScenarioSpec`."""
+
+    def __init__(self, spec: ScenarioSpec, obs: "Observability | None" = None) -> None:
+        self.spec = spec
+        self.config = spec.resolved_config()
+        #: Optional repro.obs bundle; ``None`` (or an all-``None`` bundle)
+        #: keeps every hook detached and the simulator's no-observer fast
+        #: path intact.
+        self.obs = obs if obs is not None and obs.active else None
+
+        self.sim = Simulator()
+        graph = spec.graph
+        self.cluster = Cluster(
+            self.sim, self.config, graph.nodes, link_specs=graph.spec_overrides()
+        )
+        n = len(spec.migrants)
+        self.outcomes: list[MigrationOutcome | None] = [None] * n
+        self.results: list[ExecutionResult | None] = [None] * n
+        #: Attached invariant checkers (when config.checks.enabled).
+        self.checkers: list[object | None] = [None] * n
+        #: Each migrant's current InfoDaemon (``None`` without one).
+        self.migrant_infods: list[InfoDaemon | None] = [None] * n
+        #: Shared daemons, keyed (destination, home): concurrent migrants
+        #: on the same node pair share one measurement stream.
+        self._infods: dict[tuple[str, str], InfoDaemon] = {}
+        self._executed = False
+
+        # Fault injection: when the spec can perturb anything, wrap every
+        # link a migrant's paging traffic crosses in lossy directions
+        # driven by one seeded plan.  Random injection is armed only once
+        # the first migrant resumes (see _migrant), so the freeze-time
+        # bulk transfers stay untouched.
+        self.fault_plan: FaultPlan | None = None
+        self.injection_log: FaultInjectionLog | None = None
+        if self.config.faults.active:
+            self.injection_log = FaultInjectionLog()
+            self.fault_plan = FaultPlan(
+                self.config.faults,
+                seed=self.config.seed,
+                log=self.injection_log,
+                active_from=float("inf"),
+            )
+            for a, b in self._lossy_pairs():
+                install_lossy_link(self.cluster.network, a, b, self.fault_plan)
+
+        # Section 5.5: tc/iptables shaping of individual links.
+        for link in graph.links:
+            if link.shaped_bandwidth_bps is not None:
+                shaper = TrafficShaper(self.cluster.network.link_between(link.a, link.b))
+                shaper.apply(link.shaped_bandwidth_bps, link.shaped_latency_s)
+
+        # Wire-occupancy spans: attach the tracer's hook to both directions
+        # of every migrant-crossed link (after any lossy wrapping, so
+        # injected runs trace the wrapper's base transfers).  Pure observer
+        # — the hook only records; arrival arithmetic is unchanged.
+        if self.obs is not None and self.obs.tracer is not None:
+            hook = self.obs.tracer.wire_hook()
+            network = self.cluster.network
+            for a, b in self._paging_pairs():
+                network.direction(a, b).trace_hook = hook
+                network.direction(b, a).trace_hook = hook
+
+        #: Background CPU load, keyed by node (scheduled at construction).
+        self.background = {
+            node: BackgroundLoad(self.sim, self.cluster.node(node), list(windows))
+            for node, windows in spec.background.items()
+        }
+
+    # ------------------------------------------------------------------
+    # link selection
+    # ------------------------------------------------------------------
+    def _paging_pairs(self) -> list[tuple[str, str]]:
+        """Ordered unique node pairs the migrants' deputy traffic crosses:
+        consecutive path hops plus every home-dependency link.  File-server
+        links are excluded — FFA's flush stream has no deputy protocol on
+        it (and the legacy driver never wrapped or traced it either)."""
+        pairs: list[tuple[str, str]] = []
+        seen: set[tuple[str, str]] = set()
+
+        def add(a: str, b: str) -> None:
+            key = (a, b) if a <= b else (b, a)
+            if a == b or key in seen:
+                return
+            seen.add(key)
+            pairs.append((a, b))
+
+        for migrant in self.spec.migrants:
+            path = migrant.path
+            for i in range(len(path) - 1):
+                add(path[i], path[i + 1])
+            for node in path[2:]:
+                add(path[0], node)
+        return pairs
+
+    def _lossy_pairs(self) -> list[tuple[str, str]]:
+        """The pairs to wrap in lossy directions: the migrants' paging
+        links, minus any the graph pins ``lossy=False``, plus any it pins
+        ``lossy=True``."""
+        graph = self.spec.graph
+        pairs: list[tuple[str, str]] = []
+        seen: set[tuple[str, str]] = set()
+        for a, b in self._paging_pairs():
+            link = graph.link_spec(a, b)
+            if link is not None and link.lossy is False:
+                continue
+            key = (a, b) if a <= b else (b, a)
+            seen.add(key)
+            pairs.append((a, b))
+        for link in graph.links:
+            if link.lossy and link.pair not in seen:
+                pairs.append((link.a, link.b))
+        return pairs
+
+    # ------------------------------------------------------------------
+    @property
+    def executed(self) -> bool:
+        return self._executed
+
+    def measure_freeze(self, index: int = 0) -> MigrationOutcome:
+        """Perform only migrant ``index``'s first migration freeze (no
+        trace execution) — figure 5 needs nothing else."""
+        if self._executed or self.outcomes[index] is not None:
+            raise MigrationError("ScenarioRuntime objects are single-use")
+        migrant = self.spec.migrants[index]
+        strategy = resolve_strategy(migrant.strategy)
+        space = migrant.workload.setup()
+        ctx = self._context(
+            migrant,
+            strategy,
+            space,
+            migrant.workload.premigration_pages(),
+            src=migrant.path[0],
+            dst=migrant.path[1],
+        )
+        outcome = strategy.perform(ctx)
+        self.outcomes[index] = outcome
+        return outcome
+
+    def execute(self) -> list[ExecutionResult]:
+        """Run every migrant to completion; returns results in spec order."""
+        if self._executed or any(o is not None for o in self.outcomes):
+            raise MigrationError("ScenarioRuntime objects are single-use")
+        self._executed = True
+        migrants = self.spec.migrants
+        single = len(migrants) == 1
+        procs = []
+        for i, migrant in enumerate(migrants):
+            name = migrant.name or ("scenario" if single else f"migrant-{i}")
+            procs.append(self.sim.spawn(self._migrant(i, migrant), name=name))
+        for proc in procs:
+            self.sim.run_until_complete(proc, max_events=self.spec.max_events)
+        for infod in self._infods.values():
+            infod.stop()
+        assert all(r is not None for r in self.results)
+        return list(self.results)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def _context(
+        self,
+        migrant: MigrantSpec,
+        strategy: MigrationStrategy,
+        space,
+        premigration,
+        src: str,
+        dst: str,
+    ) -> MigrationContext:
+        file_server = None
+        if isinstance(strategy, FfaMigration) and FILE_SERVER in self.cluster.nodes:
+            file_server = FILE_SERVER
+        return MigrationContext(
+            sim=self.sim,
+            network=self.cluster.network,
+            hardware=self.config.hardware,
+            ampom=self.config.ampom,
+            src=src,
+            dst=dst,
+            address_space=space,
+            premigration_pages=premigration,
+            file_server=file_server,
+            fault_plan=self.fault_plan,
+            home=migrant.path[0],
+            path=migrant.path,
+        )
+
+    def _infod_for(self, dst: str, home: str) -> InfoDaemon:
+        key = (dst, home)
+        infod = self._infods.get(key)
+        if infod is None:
+            infod = InfoDaemon(
+                self.sim,
+                self.cluster.node(dst),
+                to_home=self.cluster.network.direction(dst, home),
+                from_home=self.cluster.network.direction(home, dst),
+                config=self.config.infod,
+                min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
+            )
+            self._infods[key] = infod
+        return infod
+
+    def _stop_infod(self, dst: str, home: str) -> None:
+        infod = self._infods.pop((dst, home), None)
+        if infod is not None:
+            infod.stop()
+
+    # ------------------------------------------------------------------
+    # the migrant process
+    # ------------------------------------------------------------------
+    def _migrant(self, index: int, migrant: MigrantSpec):
+        sim = self.sim
+        config = self.config
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        single = len(self.spec.migrants) == 1
+        path = migrant.path
+        # The classic single-migrant scenario starts at t=0 with no delay
+        # event; staggered multi-migrant runs always schedule one.
+        if not single or migrant.start_s > 0.0:
+            yield Timeout(migrant.start_s)
+
+        strategy = resolve_strategy(migrant.strategy)
+        space = migrant.workload.setup()
+        premigration = migrant.workload.premigration_pages()
+        ctx = self._context(migrant, strategy, space, premigration, src=path[0], dst=path[1])
+        outcome = strategy.perform(ctx)
+        self.outcomes[index] = outcome
+
+        infod = None
+        if migrant.with_infod and outcome.policy is not None:
+            infod = self._infod_for(dst=path[1], home=path[0])
+            self.migrant_infods[index] = infod
+        if self.fault_plan is not None:
+            # Faults begin the instant the first migrant resumes; a later
+            # activation may not postpone an earlier migrant's exposure.
+            resume = sim.now + outcome.freeze_time
+            if resume < self.fault_plan.active_from:
+                self.fault_plan.activate(resume)
+        if tracer is not None:
+            # The freeze span pairs with the executor's ``budget.freeze +=
+            # outcome.freeze_time`` charge — same float, recorded first, so
+            # bucket_sums()["freeze"] reproduces the budget bit for bit.
+            tracer.complete(
+                MIGRANT_TRACK,
+                "freeze",
+                sim.now,
+                outcome.freeze_time,
+                "freeze",
+                strategy=outcome.strategy,
+                pages=outcome.pages_shipped,
+            )
+        yield Timeout(outcome.freeze_time)
+
+        retry = config.retry if self.fault_plan is not None else None
+        retry_rng = None
+        if self.fault_plan is not None:
+            stream = "retry" if single else f"retry-{index}"
+            retry_rng = child_rng(config.seed, stream)
+
+        checker = None
+        observers = ()
+        carry = None
+        run_time_base = 0.0
+        hop = 1
+        while True:
+            last = hop == len(path) - 1
+            leg_start = sim.now
+            preempt_at = None if last else leg_start + migrant.hop_delays[hop - 1]
+            executor = MigrantExecutor(
+                sim=sim,
+                workload=migrant.workload,
+                outcome=outcome,
+                node=self.cluster.node(path[hop]),
+                hardware=config.hardware,
+                infod=infod,
+                capacity_pages=migrant.capacity_pages,
+                fault_log=migrant.fault_log,
+                retry=retry,
+                retry_rng=retry_rng,
+                injection_log=self.injection_log,
+                obs=obs,
+                preempt_at=preempt_at,
+                carry=carry,
+                run_time_base=run_time_base,
+            )
+            if carry is None:
+                if config.checks.enabled:
+                    checker = self._make_checker(index, outcome, executor)
+                observers = self._attach_observers(outcome, executor)
+            else:
+                executor.checker = checker
+            proc = executor.start()
+            result = yield proc
+            if proc.error is not None:
+                raise proc.error
+            if not executor.preempted:
+                break
+
+            # --- re-migration hop (section 3.2) -----------------------
+            # Quiesce on the current node: absorb or write off every page
+            # still on the wire, then hand the trace to the next leg.
+            yield from self._quiesce(executor, outcome)
+            run_time_base += sim.now - leg_start
+            src = path[hop]
+            hop += 1
+            hop_ctx = self._context(migrant, strategy, space, premigration, src=src, dst=path[hop])
+            strategy.rehop(hop_ctx, outcome)
+            if tracer is not None:
+                tracer.complete(
+                    MIGRANT_TRACK,
+                    "freeze",
+                    sim.now,
+                    outcome.freeze_time,
+                    "freeze",
+                    strategy=outcome.strategy,
+                    pages=outcome.pages_shipped,
+                )
+            if infod is not None:
+                if single:
+                    self._stop_infod(dst=src, home=path[0])
+                infod = None
+            if migrant.with_infod and outcome.policy is not None:
+                infod = self._infod_for(dst=path[hop], home=path[0])
+                self.migrant_infods[index] = infod
+            if obs is not None:
+                # A transit deputy may have appeared; hand it the bundle.
+                for deputy in getattr(outcome.page_service, "deputies", ()):
+                    deputy.obs = obs
+            carry = executor.carry_out()
+            yield Timeout(outcome.freeze_time)
+
+        assert isinstance(result, ExecutionResult)
+        if len(path) > 2:
+            result.extra["hops"] = float(len(path) - 1)
+        if checker is not None:
+            checker.final_audit()
+            sim.remove_observer(checker.on_sim_event)
+        for callback in observers:
+            sim.remove_observer(callback)
+        if single and infod is not None:
+            self._stop_infod(dst=path[-1], home=path[0])
+        if obs is not None and obs.metrics is not None:
+            self._finalize_metrics(obs.metrics, result)
+        self.results[index] = result
+        return result
+
+    def _quiesce(self, executor: MigrantExecutor, outcome: MigrationOutcome):
+        """Drain the preempted leg's wire state before re-migrating:
+        absorb and copy every page that still arrives (waiting for the
+        last finite arrival, charged as stall), then write off lost pages
+        (infinite arrival) back to REMOTE — they re-fetch on demand from
+        whichever deputy holds them after the hop."""
+        sim = self.sim
+        res = outcome.residency
+        tr = executor._tracer
+        executor._acquire_cpu()
+        try:
+            while True:
+                if res.in_flight_map:
+                    res.absorb_arrivals(sim.now)
+                if res.buffered_set:
+                    yield from executor._copy_buffered(res)
+                finite = [t for t in res.in_flight_map.values() if not math.isinf(t)]
+                if not finite:
+                    break
+                wait = max(max(finite) - sim.now, 0.0)
+                if wait > 0.0:
+                    t0 = sim.now if tr is not None else 0.0
+                    yield Timeout(wait)
+                    executor.budget.stall += wait
+                    if tr is not None:
+                        tr.complete(MIGRANT_TRACK, "stall", t0, wait, "stall")
+        finally:
+            executor._release_cpu()
+        lost = res.write_off_lost()
+        if lost:
+            executor.counters.prefetch_writeoffs += len(lost)
+            for vpn in lost:
+                executor.discard_fetch(vpn)
+
+    # ------------------------------------------------------------------
+    def _make_checker(self, index: int, outcome: MigrationOutcome, executor: MigrantExecutor):
+        """Attach the repro.check invariant checker + oracle (observers)."""
+        from ..check import DifferentialOracle, InvariantChecker
+
+        checker = InvariantChecker(
+            self.config.checks, self.sim, outcome, executor.counters
+        )
+        executor.checker = checker
+        self.checkers[index] = checker
+        self.sim.add_observer(checker.on_sim_event)
+        if self.config.checks.oracle and hasattr(outcome.policy, "check_oracle"):
+            outcome.policy.check_oracle = DifferentialOracle()
+        return checker
+
+    def _attach_observers(self, outcome: MigrationOutcome, executor: MigrantExecutor):
+        """Register obs gauge samplers / inspector probes with the
+        simulator; returns the observer callbacks to detach at run end."""
+        obs = self.obs
+        if obs is None:
+            return ()
+        from ..obs import GaugeSampler
+        from ..obs.spans import DEPUTY_TRACK
+
+        sim = self.sim
+        observers = []
+        deputy = getattr(outcome.page_service, "deputy", None)
+        if deputy is not None:
+            deputy.obs = obs
+        if deputy is not None and (obs.metrics is not None or obs.tracer is not None):
+            sampler = GaugeSampler(
+                "deputy_queue_depth_s",
+                DEPUTY_TRACK,
+                lambda: max(0.0, deputy.busy_until - sim.now),
+                obs.sample_interval_s,
+                metrics=obs.metrics,
+                tracer=obs.tracer,
+            )
+            sim.add_observer(sampler.on_sim_event)
+            observers.append(sampler.on_sim_event)
+        inspector = obs.inspector
+        if inspector is not None:
+            counters = executor.counters
+            budget = executor.budget
+            inspector.add_probe("major_faults", lambda: float(counters.major_faults))
+            inspector.add_probe(
+                "prefetched", lambda: float(counters.pages_prefetched)
+            )
+            inspector.add_probe("stall_s", lambda: budget.stall)
+            inspector.add_probe("compute_s", lambda: budget.compute)
+            if deputy is not None:
+                inspector.add_probe(
+                    "deputy_queue_s", lambda: max(0.0, deputy.busy_until - sim.now)
+                )
+            sim.add_observer(inspector.on_sim_event)
+            observers.append(inspector.on_sim_event)
+        return observers
+
+    @staticmethod
+    def _finalize_metrics(metrics, result: ExecutionResult) -> None:
+        """Fold end-of-run prefetch accuracy/waste scalars into the registry."""
+        c = result.counters
+        prefetched = c.pages_prefetched
+        wasted = result.wasted_pages
+        metrics.set_counter("pages_prefetched", float(prefetched))
+        metrics.set_counter("pages_demand_fetched", float(c.pages_demand_fetched))
+        metrics.set_counter("wasted_pages", float(wasted))
+        if prefetched > 0:
+            useful = max(prefetched - wasted, 0)
+            metrics.set_counter("prefetch_accuracy", useful / prefetched)
+            metrics.set_counter("prefetch_waste_fraction", wasted / prefetched)

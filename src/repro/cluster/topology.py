@@ -1,0 +1,498 @@
+"""Declarative cluster scenarios: node graphs, link specs, migrant specs.
+
+The paper's residual-dependency design (deputy on the origin node, MPT
+travelling with the process, section 3) supports *chains* of migrations:
+a process may move ``n0 -> n1 -> n2``, leaving a deputy on its home node
+and a transit deputy on every intermediate node that still holds pages.
+This module is the declarative half of that capability: a
+:class:`ScenarioSpec` names the nodes and links of a cluster
+(:class:`NodeGraph`), the migrants that run on it (:class:`MigrantSpec`,
+including the multi-hop migration path), and the shared configuration.
+:class:`repro.cluster.session.ScenarioRuntime` executes it.
+
+The legacy two-node drivers (:class:`repro.cluster.runner.MigrationRun`,
+:class:`repro.cluster.multi.MultiMigrationRun`) are thin wrappers that
+build a spec via :func:`two_node_spec` and delegate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from ..config import FaultSpec, NetworkSpec, SimulationConfig
+from ..errors import MigrationError
+from ..units import ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics.eventlog import FaultLog
+    from ..migration.base import MigrationStrategy
+    from ..workloads.base import Workload
+    from .loadgen import LoadWindow
+
+#: Canonical node names shared by every two-node scenario and wrapper.
+HOME = "home"
+DEST = "dest"
+FILE_SERVER = "fs"
+
+
+def _wants_file_server(strategy) -> bool:
+    """True when ``strategy`` (instance, class, or factory) is FFA."""
+    from ..migration.ffa import FfaMigration
+
+    if isinstance(strategy, FfaMigration):
+        return True
+    return isinstance(strategy, type) and issubclass(strategy, FfaMigration)
+
+
+def resolve_strategy(strategy) -> "MigrationStrategy":
+    """Resolve a :class:`MigrantSpec.strategy` field to an instance.
+
+    The field accepts either a ready strategy instance or a zero-argument
+    factory (class or callable), so multi-migrant specs can hand every
+    migrant its own strategy object.
+    """
+    from ..migration.base import MigrationStrategy
+
+    if isinstance(strategy, MigrationStrategy):
+        return strategy
+    made = strategy()
+    if not isinstance(made, MigrationStrategy):
+        raise MigrationError(
+            f"strategy factory returned {type(made).__name__}, not a MigrationStrategy"
+        )
+    return made
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Override for one link of a :class:`NodeGraph` full mesh.
+
+    ``network`` replaces the shared :class:`NetworkSpec` for this link;
+    ``shaped_bandwidth_bps``/``shaped_latency_s`` apply tc-style traffic
+    shaping after construction (section 5.5); ``lossy`` forces fault
+    injection on (``True``) or off (``False``) for this link when a fault
+    plan is armed — ``None`` lets the runtime pick the links a migrant's
+    paging traffic actually crosses.
+    """
+
+    a: str
+    b: str
+    network: NetworkSpec | None = None
+    shaped_bandwidth_bps: float | None = None
+    shaped_latency_s: float | None = None
+    lossy: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise MigrationError(f"a link needs two distinct endpoints: {self.a!r}")
+        if (self.shaped_bandwidth_bps is None) != (self.shaped_latency_s is None):
+            raise MigrationError(
+                "shaped_bandwidth_bps and shaped_latency_s must be set together"
+            )
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """Order-independent endpoint key."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+@dataclass(frozen=True)
+class NodeGraph:
+    """Named nodes fully meshed by the config's default link, with
+    per-link :class:`LinkSpec` overrides."""
+
+    nodes: tuple[str, ...]
+    links: tuple[LinkSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "links", tuple(self.links))
+        if len(self.nodes) < 2:
+            raise MigrationError(f"a NodeGraph needs at least two nodes: {self.nodes}")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise MigrationError(f"duplicate node names: {self.nodes}")
+        names = set(self.nodes)
+        seen: set[tuple[str, str]] = set()
+        for link in self.links:
+            if link.a not in names or link.b not in names:
+                raise MigrationError(
+                    f"link {link.a!r}<->{link.b!r} references a node not in {self.nodes}"
+                )
+            if link.pair in seen:
+                raise MigrationError(f"duplicate link spec for {link.pair}")
+            seen.add(link.pair)
+
+    def spec_overrides(self) -> dict[tuple[str, str], NetworkSpec]:
+        """Per-pair :class:`NetworkSpec` replacements for Cluster.__init__."""
+        return {
+            link.pair: link.network for link in self.links if link.network is not None
+        }
+
+    def link_spec(self, a: str, b: str) -> LinkSpec | None:
+        key = (a, b) if a <= b else (b, a)
+        for link in self.links:
+            if link.pair == key:
+                return link
+        return None
+
+
+@dataclass(eq=False)
+class MigrantSpec:
+    """One migrating process: workload, strategy, and migration path.
+
+    ``path`` lists the nodes the process visits in order; the first entry
+    is its home node (where the deputy stays), subsequent entries are
+    migration destinations.  ``hop_delays[i]`` is how long the process
+    runs on ``path[i + 1]`` before re-migrating to ``path[i + 2]`` —
+    required for every hop except the last (the process runs to
+    completion on the final node).
+    """
+
+    workload: "Workload"
+    strategy: object
+    path: tuple[str, ...] = (HOME, DEST)
+    start_s: float = 0.0
+    hop_delays: tuple[float, ...] = ()
+    with_infod: bool = True
+    capacity_pages: int | None = None
+    fault_log: "FaultLog | None" = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.path = tuple(self.path)
+        self.hop_delays = tuple(self.hop_delays)
+        if len(self.path) < 2:
+            raise MigrationError(f"a migration path needs at least two nodes: {self.path}")
+        if len(set(self.path)) != len(self.path):
+            raise MigrationError(
+                f"migration paths may not revisit a node: {self.path}"
+            )
+        if self.start_s < 0:
+            raise MigrationError(f"start_s must be non-negative: {self.start_s}")
+        if len(self.hop_delays) != len(self.path) - 2:
+            raise MigrationError(
+                f"path {self.path} needs {len(self.path) - 2} hop_delays, "
+                f"got {len(self.hop_delays)}"
+            )
+        for delay in self.hop_delays:
+            if delay <= 0:
+                raise MigrationError(f"hop_delays must be positive: {self.hop_delays}")
+        if self.capacity_pages is not None and len(self.path) > 2:
+            raise MigrationError(
+                "capacity_pages (the LRU memory-pressure model) is not "
+                "supported on multi-hop paths"
+            )
+
+    @property
+    def home(self) -> str:
+        return self.path[0]
+
+    @property
+    def hops(self) -> int:
+        """Number of migrations along the path."""
+        return len(self.path) - 1
+
+
+@dataclass(eq=False)
+class ScenarioSpec:
+    """A full cluster scenario: graph + migrants + shared configuration."""
+
+    graph: NodeGraph
+    migrants: tuple[MigrantSpec, ...]
+    config: SimulationConfig | None = None
+    max_events: int | None = None
+    #: Background CPU load windows, keyed by node name (see
+    #: :class:`repro.cluster.loadgen.BackgroundLoad`).
+    background: Mapping[str, Sequence["LoadWindow"]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.migrants = tuple(self.migrants)
+        if not self.migrants:
+            raise MigrationError("a scenario needs at least one migrant")
+        names = set(self.graph.nodes)
+        for i, migrant in enumerate(self.migrants):
+            missing = [n for n in migrant.path if n not in names]
+            if missing:
+                raise MigrationError(
+                    f"migrant {i} path {migrant.path} references unknown "
+                    f"nodes {missing} (graph has {self.graph.nodes})"
+                )
+            if _wants_file_server(migrant.strategy) and FILE_SERVER not in names:
+                raise MigrationError(
+                    f"migrant {i} uses the FFA strategy but the graph has no "
+                    f"{FILE_SERVER!r} node"
+                )
+        for node in self.background:
+            if node not in names:
+                raise MigrationError(f"background load on unknown node {node!r}")
+        cfg = self.config if self.config is not None else SimulationConfig()
+        if cfg.faults.active:
+            for i, migrant in enumerate(self.migrants):
+                if _wants_file_server(migrant.strategy):
+                    raise MigrationError(
+                        "fault injection requires a deputy-backed scheme; the FFA "
+                        "file-server protocol has no retransmission path"
+                    )
+
+    def resolved_config(self) -> SimulationConfig:
+        return self.config if self.config is not None else SimulationConfig()
+
+
+def two_node_spec(
+    workload: "Workload",
+    strategy,
+    config: SimulationConfig | None = None,
+    with_infod: bool = True,
+    shaped_bandwidth_bps: float | None = None,
+    shaped_latency_s: float | None = None,
+    max_events: int | None = None,
+    capacity_pages: int | None = None,
+    fault_log: "FaultLog | None" = None,
+) -> ScenarioSpec:
+    """The classic single-migrant home->dest scenario as a spec."""
+    nodes = [HOME, DEST]
+    if _wants_file_server(strategy):
+        nodes.append(FILE_SERVER)
+    links: tuple[LinkSpec, ...] = ()
+    if shaped_bandwidth_bps is not None or shaped_latency_s is not None:
+        # Validation of the pair happens in LinkSpec.__post_init__.
+        links = (
+            LinkSpec(
+                HOME,
+                DEST,
+                shaped_bandwidth_bps=shaped_bandwidth_bps,
+                shaped_latency_s=shaped_latency_s,
+            ),
+        )
+    migrant = MigrantSpec(
+        workload=workload,
+        strategy=strategy,
+        path=(HOME, DEST),
+        with_infod=with_infod,
+        capacity_pages=capacity_pages,
+        fault_log=fault_log,
+    )
+    return ScenarioSpec(
+        graph=NodeGraph(tuple(nodes), links),
+        migrants=(migrant,),
+        config=config,
+        max_events=max_events,
+    )
+
+
+# ----------------------------------------------------------------------
+# Presets and spec files (``repro cluster run``)
+# ----------------------------------------------------------------------
+
+_SCHEMES: dict[str, str] = {
+    "AMPoM": "AmpomMigration",
+    "openMosix": "OpenMosixMigration",
+    "FFA": "FfaMigration",
+    "NoPrefetch": "NoPrefetchMigration",
+}
+
+
+def make_strategy(scheme: str) -> "MigrationStrategy":
+    """Instantiate a migration strategy from its scheme name."""
+    from .. import migration
+
+    try:
+        cls = getattr(migration, _SCHEMES[scheme])
+    except KeyError:
+        raise MigrationError(
+            f"unknown scheme {scheme!r}; pick one of {sorted(_SCHEMES)}"
+        )
+    return cls()
+
+
+#: Simulated run time before the three-hop presets re-migrate (seconds).
+THREE_HOP_DELAY_S = 0.25
+
+
+def _preset_workload(scale: float) -> "Workload":
+    from ..workloads.hpcc import hpcc_workload
+
+    return hpcc_workload("DGEMM", 115, scale=scale)
+
+
+def _preset_config(scale: float, seed: int) -> SimulationConfig:
+    from ..experiments.figures import scaled_config
+
+    return scaled_config(scale, seed=seed)
+
+
+def _preset_pair(scheme: str, scale: float, seed: int) -> ScenarioSpec:
+    config = _preset_config(scale, seed)
+    return two_node_spec(_preset_workload(scale), make_strategy(scheme), config=config)
+
+
+def _three_hop_graph(scheme: str) -> NodeGraph:
+    nodes = [HOME, "n1", "n2"]
+    if _wants_file_server(make_strategy(scheme)):
+        nodes.append(FILE_SERVER)
+    return NodeGraph(tuple(nodes))
+
+
+def _preset_three_hop(scheme: str, scale: float, seed: int) -> ScenarioSpec:
+    config = _preset_config(scale, seed)
+    migrant = MigrantSpec(
+        workload=_preset_workload(scale),
+        strategy=make_strategy(scheme),
+        path=(HOME, "n1", "n2"),
+        hop_delays=(THREE_HOP_DELAY_S,),
+    )
+    return ScenarioSpec(graph=_three_hop_graph(scheme), migrants=(migrant,), config=config)
+
+
+def _preset_three_hop_lossy(scheme: str, scale: float, seed: int) -> ScenarioSpec:
+    if _wants_file_server(make_strategy(scheme)):
+        raise MigrationError(
+            "fault injection requires a deputy-backed scheme; the FFA "
+            "file-server protocol has no retransmission path"
+        )
+    faults = FaultSpec(
+        loss_rate=0.03, duplicate_rate=0.02, delay_rate=0.05, delay_s=ms(2.0)
+    )
+    config = _preset_config(scale, seed).with_(faults=faults)
+    migrant = MigrantSpec(
+        workload=_preset_workload(scale),
+        strategy=make_strategy(scheme),
+        path=(HOME, "n1", "n2"),
+        hop_delays=(THREE_HOP_DELAY_S,),
+    )
+    return ScenarioSpec(graph=_three_hop_graph(scheme), migrants=(migrant,), config=config)
+
+
+def _preset_contention(scheme: str, scale: float, seed: int) -> ScenarioSpec:
+    from ..workloads.hpcc import hpcc_workload
+
+    config = _preset_config(scale, seed)
+    migrants = tuple(
+        MigrantSpec(
+            workload=hpcc_workload("STREAM", 64, scale=scale),
+            strategy=make_strategy(scheme),
+            path=(HOME, DEST),
+            start_s=i * 0.05,
+            name=f"stream-{i}",
+        )
+        for i in range(3)
+    )
+    nodes = [HOME, DEST]
+    if _wants_file_server(make_strategy(scheme)):
+        nodes.append(FILE_SERVER)
+    return ScenarioSpec(graph=NodeGraph(tuple(nodes)), migrants=migrants, config=config)
+
+
+#: name -> builder(scheme, scale, seed) for ``repro cluster run --preset``.
+PRESETS: dict[str, Callable[[str, float, int], ScenarioSpec]] = {
+    "pair": _preset_pair,
+    "three-hop": _preset_three_hop,
+    "three-hop-lossy": _preset_three_hop_lossy,
+    "contention": _preset_contention,
+}
+
+
+def build_preset(
+    name: str, scheme: str = "AMPoM", scale: float = 1 / 16, seed: int = 0
+) -> ScenarioSpec:
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise MigrationError(f"unknown preset {name!r}; pick one of {sorted(PRESETS)}")
+    return builder(scheme, scale, seed)
+
+
+def _workload_from_dict(d: Mapping) -> "Workload":
+    from ..workloads.hpcc import hpcc_workload
+
+    kernel = d.get("kernel", "DGEMM")
+    memory_mb = float(d.get("memory_mb", 115))
+    scale = float(d.get("scale", 1 / 16))
+    return hpcc_workload(kernel, memory_mb, scale=scale)
+
+
+def scenario_from_dict(d: Mapping) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from a plain JSON-style mapping.
+
+    Shape (see docs/CLUSTER.md for a worked example)::
+
+        {"nodes": ["home", "n1", "n2"],
+         "links": [{"a": "home", "b": "n1",
+                    "shaped_bandwidth_bps": 6e6, "shaped_latency_s": 2e-3}],
+         "seed": 0,
+         "faults": {"loss_rate": 0.03},
+         "migrants": [{"kernel": "dgemm", "memory_mb": 115, "scale": 0.0625,
+                       "scheme": "AMPoM", "path": ["home", "n1", "n2"],
+                       "start_s": 0.0, "hop_delays": [0.25]}]}
+    """
+    try:
+        nodes = tuple(d["nodes"])
+        migrant_dicts = list(d["migrants"])
+    except KeyError as exc:
+        raise MigrationError(f"scenario spec is missing required key {exc}")
+    links = tuple(
+        LinkSpec(
+            a=ld["a"],
+            b=ld["b"],
+            network=NetworkSpec(**ld["network"]) if "network" in ld else None,
+            shaped_bandwidth_bps=ld.get("shaped_bandwidth_bps"),
+            shaped_latency_s=ld.get("shaped_latency_s"),
+            lossy=ld.get("lossy"),
+        )
+        for ld in d.get("links", ())
+    )
+    config = SimulationConfig(
+        seed=int(d.get("seed", 0)),
+        faults=FaultSpec(**d.get("faults", {})),
+    )
+    migrants = tuple(
+        MigrantSpec(
+            workload=_workload_from_dict(md),
+            strategy=make_strategy(md.get("scheme", "AMPoM")),
+            path=tuple(md.get("path", (HOME, DEST))),
+            start_s=float(md.get("start_s", 0.0)),
+            hop_delays=tuple(md.get("hop_delays", ())),
+            with_infod=bool(md.get("with_infod", True)),
+            name=md.get("name"),
+        )
+        for md in migrant_dicts
+    )
+    return ScenarioSpec(
+        graph=NodeGraph(nodes, links),
+        migrants=migrants,
+        config=config,
+        max_events=d.get("max_events"),
+    )
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Parse a JSON scenario spec file (``repro cluster run --spec``)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MigrationError(f"cannot read scenario spec {path}: {exc}")
+    if not isinstance(data, dict):
+        raise MigrationError(f"scenario spec {path} must be a JSON object")
+    return scenario_from_dict(data)
+
+
+__all__ = [
+    "DEST",
+    "FILE_SERVER",
+    "HOME",
+    "LinkSpec",
+    "MigrantSpec",
+    "NodeGraph",
+    "PRESETS",
+    "ScenarioSpec",
+    "THREE_HOP_DELAY_S",
+    "build_preset",
+    "load_scenario",
+    "make_strategy",
+    "resolve_strategy",
+    "scenario_from_dict",
+    "two_node_spec",
+]

@@ -67,6 +67,28 @@ def _run_random_faults(obs=None) -> ExecutionResult:
     return MigrationRun(w, AmpomMigration(), obs=obs).execute()
 
 
+def _run_three_hop(obs=None) -> ExecutionResult:
+    """Multi-hop re-migration (home -> n1 -> n2) through the scenario
+    runtime: quiesce, transit deputy, routed paging — the section 3.2
+    machinery end to end."""
+    from ..cluster.session import ScenarioRuntime
+    from ..cluster.topology import HOME, MigrantSpec, NodeGraph, ScenarioSpec
+
+    w = SequentialWorkload(mib(4), sweeps=2)
+    spec = ScenarioSpec(
+        graph=NodeGraph((HOME, "n1", "n2")),
+        migrants=(
+            MigrantSpec(
+                workload=w,
+                strategy=AmpomMigration(),
+                path=(HOME, "n1", "n2"),
+                hop_delays=(0.1,),
+            ),
+        ),
+    )
+    return ScenarioRuntime(spec, obs=obs).execute()[0]
+
+
 def _run_ampom_traced(obs=None) -> ExecutionResult:
     """``ampom_pipeline`` with the full obs bundle armed.
 
@@ -86,6 +108,7 @@ CASES: dict[str, Callable[[], ExecutionResult]] = {
     "demand_paging": _run_demand_paging,
     "ampom_pipeline": _run_ampom_pipeline,
     "random_faults": _run_random_faults,
+    "three_hop": _run_three_hop,
     "ampom_traced": _run_ampom_traced,
 }
 

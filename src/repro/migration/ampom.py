@@ -71,3 +71,33 @@ class AmpomMigration(MigrationStrategy):
             page_service=service,
             extra={"mpt_bytes": float(mpt.size_bytes), "mpt_install_s": install},
         )
+
+    def rehop(self, ctx: MigrationContext, outcome: MigrationOutcome) -> None:
+        """Re-migrate: ship the trio + the (current) MPT again; every other
+        resident page stays behind on a transit deputy (section 3.2)."""
+        self._guard_rehop(ctx)
+        now = ctx.sim.now
+        hw = ctx.hardware
+        channel = ctx.network.direction(ctx.src, ctx.dst)
+        res = outcome.residency
+        trio = [vpn for vpn in ctx.freeze_trio() if vpn in res.mapped]
+
+        self._state_transfer(ctx)
+        payload = outcome.mpt.size_bytes
+        arrival = channel.transfer(outcome.mpt.size_bytes, ctx.sim.now)
+        for _vpn in trio:
+            arrival = max(arrival, channel.transfer_page(hw.page_size, ctx.sim.now))
+            payload += hw.page_size + channel.per_page_overhead_bytes
+        install = len(outcome.mpt) * hw.mpt_install_time_per_entry
+        freeze_time = hw.migration_setup_time + (arrival - now) + install
+
+        transit = sorted(res.mapped - set(trio))
+        self._leave_transit_deputy(ctx, outcome, transit)
+        outcome.freeze_time = freeze_time
+        outcome.bytes_transferred = payload
+        outcome.pages_shipped = len(trio)
+        outcome.extra["mpt_bytes"] = float(outcome.mpt.size_bytes)
+        outcome.extra["mpt_install_s"] = install
+        outcome.extra["transit_pages"] = outcome.extra.get("transit_pages", 0.0) + float(
+            len(transit)
+        )

@@ -106,6 +106,131 @@ class DeputyPageService:
         )
 
 
+class _Route:
+    """One deputy a :class:`RoutedPageService` can page from."""
+
+    __slots__ = ("node", "request_channel", "deputy")
+
+    def __init__(self, node: str, request_channel: Direction, deputy: Deputy) -> None:
+        self.node = node
+        self.request_channel = request_channel
+        self.deputy = deputy
+
+
+class RoutedPageService:
+    """Pages served by a *chain* of deputies (multi-hop re-migration).
+
+    After ``n0 -> n1 -> n2`` (paper section 3.2) the process's pages are
+    split between the home deputy on ``n0`` (pages never fetched) and a
+    transit deputy on ``n1`` (pages fetched on the first leg but left
+    behind by the second freeze).  Each paging request is split by page
+    ownership and one sub-request is sent per owning deputy; forwarded
+    system calls always go to the home node — the home dependency does
+    not move.  ``move_to`` rebinds every route's channels when the
+    process hops again, so the chain keeps working for any path length.
+    """
+
+    def __init__(self, network: Network, home: str, dst: str, home_service: DeputyPageService) -> None:
+        self.network = network
+        self.home = home
+        self.dst = dst
+        self._routes: list[_Route] = [
+            _Route(home, home_service.request_channel, home_service.deputy)
+        ]
+        # Continue the wrapped service's sequence numbering so a deputy's
+        # retransmission dedup cache stays coherent across the wrap.
+        self._next_seq = home_service._next_seq
+        #: Every request/reply channel this service has ever used; the
+        #: executor folds their wire fault counters at end of run.
+        self.wire_channels: set[Direction] = {
+            home_service.request_channel,
+            home_service.deputy.reply_channel,
+        }
+
+    # -- introspection used by the executor/checker/runner --------------
+    @property
+    def deputy(self) -> Deputy:
+        """The home deputy (owner of the HPT and the syscall path)."""
+        return self._routes[0].deputy
+
+    @property
+    def deputies(self) -> list[Deputy]:
+        """Every deputy in the chain, home first."""
+        return [route.deputy for route in self._routes]
+
+    @property
+    def request_channel(self) -> Direction:
+        """The migrant -> home request channel (writeback/monitor path)."""
+        return self._routes[0].request_channel
+
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # -- topology updates ------------------------------------------------
+    def add_route(self, node: str, deputy: Deputy) -> None:
+        """Chain a transit deputy left behind on ``node``."""
+        request = self.network.direction(self.dst, node)
+        self._routes.append(_Route(node, request, deputy))
+        self.wire_channels.add(request)
+        self.wire_channels.add(deputy.reply_channel)
+
+    def move_to(self, dst: str) -> None:
+        """Rebind every route for a migrant now living on ``dst``."""
+        self.dst = dst
+        for route in self._routes:
+            route.request_channel = self.network.direction(dst, route.node)
+            route.deputy.rebind(self.network.direction(route.node, dst))
+            self.wire_channels.add(route.request_channel)
+            self.wire_channels.add(route.deputy.reply_channel)
+
+    # -- the PageService surface ----------------------------------------
+    def _owner(self, vpn: int) -> _Route:
+        for route in self._routes:
+            if vpn in route.deputy.hpt:
+                return route
+        for route in self._routes:
+            if route.deputy.holds_replay(vpn):
+                return route
+        # Let the home deputy raise the canonical "origin no longer
+        # stores it" error for a truly unknown page.
+        return self._routes[0]
+
+    def request(
+        self,
+        demand: Sequence[int],
+        prefetch: Sequence[int],
+        now: float,
+        seq: int | None = None,
+    ) -> dict[int, float]:
+        if len(demand) + len(prefetch) == 0:
+            raise MigrationError("paging request without any page")
+        owner = {vpn: self._owner(vpn) for vpn in [*demand, *prefetch]}
+        arrivals: dict[int, float] = {}
+        for route in self._routes:
+            d = [vpn for vpn in demand if owner[vpn] is route]
+            p = [vpn for vpn in prefetch if owner[vpn] is route]
+            if not d and not p:
+                continue
+            payload = REQUEST_HEADER_BYTES + PAGE_ID_BYTES * (len(d) + len(p))
+            request_arrival = route.request_channel.transfer(payload, now)
+            if math.isinf(request_arrival):
+                arrivals.update({vpn: math.inf for vpn in [*d, *p]})
+            else:
+                arrivals.update(route.deputy.serve_pages(d, p, request_arrival, seq=seq))
+        return arrivals
+
+    def forward_syscall(
+        self, syscall: Syscall, now: float, seq: int | None = None
+    ) -> float:
+        home = self._routes[0]
+        request_arrival = home.request_channel.transfer(REQUEST_HEADER_BYTES + 64, now)
+        return home.deputy.serve_syscall(
+            request_arrival, syscall.service_time, syscall.reply_bytes, seq=seq
+        )
+
+
 @dataclass(slots=True)
 class MigrationContext:
     """Everything a strategy needs to perform a migration now.
@@ -127,6 +252,12 @@ class MigrationContext:
     file_server: str | None = None
     #: Fault schedule of this run (None = perfect network/nodes).
     fault_plan: "FaultPlan | None" = None
+    #: The migrant's home node (where the deputy stays).  ``None`` means
+    #: ``src`` *is* the home node — true for every first migration.
+    home: str | None = None
+    #: Full migration path when this context belongs to a multi-hop
+    #: scenario (informational; strategies only need src/dst/home).
+    path: tuple[str, ...] | None = None
 
     def existing_pages(self) -> set[int]:
         if self.premigration_pages is not None:
@@ -170,9 +301,71 @@ class MigrationStrategy(abc.ABC):
     def perform(self, ctx: MigrationContext) -> MigrationOutcome:
         """Execute the freeze-time protocol at ``ctx.sim.now``."""
 
+    def rehop(self, ctx: MigrationContext, outcome: MigrationOutcome) -> None:
+        """Re-migrate an already-migrated (and quiesced) process from
+        ``ctx.src`` to ``ctx.dst``, mutating ``outcome`` in place.
+
+        Strategies that support multi-hop paths override this; the
+        contract is: set ``outcome.freeze_time`` / ``bytes_transferred`` /
+        ``pages_shipped`` to this *hop's* values (the executor accumulates
+        them across legs), update residency/MPT for any pages left
+        behind, and rewire ``outcome.page_service`` for the new
+        destination (see :class:`RoutedPageService`).
+        """
+        raise MigrationError(f"{self.name} does not support re-migration")
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _guard_rehop(ctx: MigrationContext) -> None:
+        if ctx.dst == (ctx.home or ctx.src):
+            raise MigrationError("re-migration back to the home node is not supported")
+
+    @staticmethod
+    def _ensure_routed(ctx: MigrationContext, outcome: MigrationOutcome) -> RoutedPageService:
+        """Wrap the outcome's page service for multi-hop routing and point
+        it at the new destination.  The first re-migration installs the
+        wrapper; later hops just rebind its routes."""
+        service = outcome.page_service
+        if not isinstance(service, RoutedPageService):
+            if not isinstance(service, DeputyPageService):
+                raise MigrationError(
+                    f"cannot re-route a {type(service).__name__}; multi-hop "
+                    "paths need a deputy-backed page service"
+                )
+            service = RoutedPageService(
+                ctx.network, home=ctx.home or ctx.src, dst=ctx.src, home_service=service
+            )
+            outcome.page_service = service
+        service.move_to(ctx.dst)
+        return service
+
+    @staticmethod
+    def _leave_transit_deputy(
+        ctx: MigrationContext, outcome: MigrationOutcome, transit: Sequence[int]
+    ) -> None:
+        """Unmap ``transit`` pages onto a new deputy on ``ctx.src``.
+
+        These pages were resident on the intermediate node but are not
+        re-shipped during the hop's freeze; the node keeps them and serves
+        them remotely — deputy chaining per paper section 3.2.
+        """
+        routed = MigrationStrategy._ensure_routed(ctx, outcome)
+        if not transit:
+            return
+        for vpn in transit:
+            outcome.residency.unmap(vpn)
+            outcome.mpt.mark_home(vpn)
+        hpt = HomePageTable(transit)
+        deputy = Deputy(
+            hpt,
+            ctx.network.direction(ctx.src, ctx.dst),
+            ctx.hardware,
+            fault_plan=ctx.fault_plan,
+        )
+        routed.add_route(ctx.src, deputy)
+
     @staticmethod
     def _state_transfer(ctx: MigrationContext) -> float:
         """Ship registers/PCB state; returns its arrival time."""

@@ -93,6 +93,25 @@ class ExecutionResult:
         }
 
 
+@dataclass(slots=True)
+class ExecutorCarry:
+    """Execution state handed from one leg of a multi-hop migration to the
+    next (see :class:`repro.cluster.session.ScenarioRuntime`).
+
+    The trace iterator, the time budget, and the counters are *shared*
+    objects: the continuation executor keeps charging the same budget and
+    resumes the trace exactly where the preempted leg stopped, so the
+    final :class:`ExecutionResult` accounts for the whole journey.
+    """
+
+    trace: object
+    budget: TimeBudget
+    counters: Counters
+    touched: set
+    fetched: set
+    window_wraps_seen: int
+
+
 class MigrantExecutor:
     """Drives one workload trace through a migration outcome."""
 
@@ -112,6 +131,9 @@ class MigrantExecutor:
         injection_log: FaultInjectionLog | None = None,
         checker: "InvariantChecker | None" = None,
         obs: "Observability | None" = None,
+        preempt_at: float | None = None,
+        carry: ExecutorCarry | None = None,
+        run_time_base: float = 0.0,
     ) -> None:
         self.sim = sim
         self.workload = workload
@@ -149,17 +171,38 @@ class MigrantExecutor:
         self._degraded = False
         self._await_stall = 0.0
 
-        self.budget = TimeBudget()
-        self.budget.freeze = outcome.freeze_time
-        self.counters = Counters()
-        self.counters.pages_migrated = outcome.pages_shipped
+        #: Simulated time at which this leg yields the CPU for the next
+        #: re-migration hop (``None`` = run the trace to completion).
+        self.preempt_at = preempt_at
+        #: True when the leg stopped at ``preempt_at`` with trace left.
+        self.preempted = False
+        self.run_time_base = run_time_base
+
+        if carry is None:
+            self.budget = TimeBudget()
+            self.budget.freeze = outcome.freeze_time
+            self.counters = Counters()
+            self.counters.pages_migrated = outcome.pages_shipped
+            self._trace = None
+            self._touched: set[int] = set()
+            self._fetched: set[int] = set()
+            self._window_wraps_seen = 0
+        else:
+            # Continuation leg: keep charging the shared budget/counters and
+            # resume the trace where the previous leg was preempted.  The
+            # freeze bucket accumulates every hop's freeze.
+            self.budget = carry.budget
+            self.budget.freeze += outcome.freeze_time
+            self.counters = carry.counters
+            self.counters.pages_migrated += outcome.pages_shipped
+            self._trace = carry.trace
+            self._touched = carry.touched
+            self._fetched = carry.fetched
+            self._window_wraps_seen = carry.window_wraps_seen
         self.result: ExecutionResult | None = None
 
-        self._touched: set[int] = set()
-        self._fetched: set[int] = set()
         self._last_fault_time = 0.0
         self._compute_since_fault = 0.0
-        self._window_wraps_seen = 0
         self._holds_cpu = False
 
         # Per-fault policy metadata and hot-path aliases, resolved once
@@ -190,6 +233,25 @@ class MigrantExecutor:
         """Spawn the executor in the simulator; the process's result is an
         :class:`ExecutionResult`."""
         return self.sim.spawn(self._run(), name=f"migrant-{self.workload.name}")
+
+    def carry_out(self) -> ExecutorCarry:
+        """Package the preempted leg's state for the next hop's executor."""
+        if not self.preempted:
+            raise MigrationError("carry_out() is only valid after a preempted leg")
+        return ExecutorCarry(
+            trace=self._trace,
+            budget=self.budget,
+            counters=self.counters,
+            touched=self._touched,
+            fetched=self._fetched,
+            window_wraps_seen=self._window_wraps_seen,
+        )
+
+    def discard_fetch(self, vpn: int) -> None:
+        """Forget a fetched-but-written-off page (keeps the wasted-page
+        accounting consistent when the runtime writes off lost prefetches
+        at a re-migration boundary)."""
+        self._fetched.discard(vpn)
 
     # ------------------------------------------------------------------
     # conditions for the prefetcher when no monitoring daemon is attached
@@ -232,68 +294,79 @@ class MigrantExecutor:
         creates = self.workload.creates_pages
         start_time = sim.now
         self._last_fault_time = start_time
+        preempt_at = self.preempt_at
+        if self._trace is None:
+            self._trace = iter(self.workload.trace())
         self._acquire_cpu()
         try:
-            for event in self.workload.trace():
+            for event in self._trace:
                 if isinstance(event, Syscall):
                     yield from self._syscall(event)
-                    continue
-                chunk: TraceChunk = event
-                if self.track_touched:
-                    self._touched.update(np.unique(chunk.pages).tolist())
-                # Fast path: everything the trace can touch is mapped (not
-                # available under the memory-pressure model, which must see
-                # every reference to keep LRU recency).
-                if (
-                    self._lru is None
-                    and not creates
-                    and not res.remote_set
-                    and not res.in_flight_map
-                    and not res.buffered_set
-                ):
-                    yield from self._compute(chunk.total_compute)
-                    continue
-                acc = 0.0
-                lru = self._lru
-                for vpn, work in zip(chunk.pages.tolist(), chunk.compute.tolist()):
-                    if vpn in mapped:
-                        if lru is not None:
-                            lru.touch(vpn)
-                        acc += work
-                        continue
-                    if acc > 0.0:
-                        # _compute, inlined: the fault path runs it before
-                        # and after every fault, so the generator hop is
-                        # worth spelling out.
-                        wall = acc * cpu.stretch()
-                        t0 = sim.now if tr is not None else 0.0
-                        yield Timeout(wall)
-                        budget.compute += wall
-                        if tr is not None:
-                            tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
-                        cpu.charge(acc)
-                        self._compute_since_fault += acc
+                else:
+                    chunk: TraceChunk = event
+                    if self.track_touched:
+                        self._touched.update(np.unique(chunk.pages).tolist())
+                    # Fast path: everything the trace can touch is mapped (not
+                    # available under the memory-pressure model, which must see
+                    # every reference to keep LRU recency).
+                    if (
+                        self._lru is None
+                        and not creates
+                        and not res.remote_set
+                        and not res.in_flight_map
+                        and not res.buffered_set
+                    ):
+                        yield from self._compute(chunk.total_compute)
+                    else:
                         acc = 0.0
-                    yield from self._fault(vpn)
-                    acc += work
-                if acc > 0.0:
-                    wall = acc * cpu.stretch()
-                    t0 = sim.now if tr is not None else 0.0
-                    yield Timeout(wall)
-                    budget.compute += wall
-                    if tr is not None:
-                        tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
-                    cpu.charge(acc)
-                    self._compute_since_fault += acc
+                        lru = self._lru
+                        for vpn, work in zip(chunk.pages.tolist(), chunk.compute.tolist()):
+                            if vpn in mapped:
+                                if lru is not None:
+                                    lru.touch(vpn)
+                                acc += work
+                                continue
+                            if acc > 0.0:
+                                # _compute, inlined: the fault path runs it before
+                                # and after every fault, so the generator hop is
+                                # worth spelling out.
+                                wall = acc * cpu.stretch()
+                                t0 = sim.now if tr is not None else 0.0
+                                yield Timeout(wall)
+                                budget.compute += wall
+                                if tr is not None:
+                                    tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
+                                cpu.charge(acc)
+                                self._compute_since_fault += acc
+                                acc = 0.0
+                            yield from self._fault(vpn)
+                            acc += work
+                        if acc > 0.0:
+                            wall = acc * cpu.stretch()
+                            t0 = sim.now if tr is not None else 0.0
+                            yield Timeout(wall)
+                            budget.compute += wall
+                            if tr is not None:
+                                tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
+                            cpu.charge(acc)
+                            self._compute_since_fault += acc
+                # Re-migration point: the runtime asked this leg to stop once
+                # the simulated clock passes preempt_at.  Checked between
+                # trace events only — a hop never tears a chunk apart.
+                if preempt_at is not None and sim.now >= preempt_at:
+                    self.preempted = True
+                    break
         finally:
             self._release_cpu()
-        run_time = sim.now - start_time
+        if self.preempted:
+            return None
+        run_time = self.run_time_base + (sim.now - start_time)
         self._collect_fault_stats()
         self.result = ExecutionResult(
             strategy=self.outcome.strategy,
             workload=self.workload.name,
             memory_bytes=self.workload.memory_bytes,
-            freeze_time=self.outcome.freeze_time,
+            freeze_time=self.budget.freeze,
             run_time=run_time,
             budget=self.budget,
             counters=self.counters,
@@ -673,15 +746,18 @@ class MigrantExecutor:
         so results need no private attributes to report them."""
         c = self.counters
         service = self.outcome.page_service
-        deputy = getattr(service, "deputy", None)
-        if deputy is not None:
+        deputies = getattr(service, "deputies", None)
+        if deputies is None:
+            deputy = getattr(service, "deputy", None)
+            deputies = [deputy] if deputy is not None else []
+        for deputy in deputies:
             c.duplicate_pages_deduped += deputy.duplicate_page_requests
             c.pages_replayed += deputy.replayed_pages
-        channels = set()
+        channels = set(getattr(service, "wire_channels", ()))
         request = getattr(service, "request_channel", None)
         if request is not None:
             channels.add(request)
-        if deputy is not None:
+        for deputy in deputies:
             channels.add(deputy.reply_channel)
         for channel in channels:
             c.messages_dropped += getattr(channel, "dropped_messages", 0)

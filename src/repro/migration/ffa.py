@@ -186,3 +186,48 @@ class FfaMigration(MigrationStrategy):
                 "flushed_pages": float(len(flush_order)),
             },
         )
+
+    def rehop(self, ctx: MigrationContext, outcome: MigrationOutcome) -> None:
+        """Re-migrate: ship the trio, flush every other resident page back
+        to the file server, and rebind the paging/syscall channels to the
+        new destination.  FFA leaves no transit deputy — the file server,
+        not the intermediate node, is the backing store."""
+        self._guard_rehop(ctx)
+        if ctx.file_server is None:
+            raise MigrationError("FFA needs ctx.file_server (a third node)")
+        now = ctx.sim.now
+        hw = ctx.hardware
+        to_dst = ctx.network.direction(ctx.src, ctx.dst)
+        to_fs = ctx.network.direction(ctx.src, ctx.file_server)
+        res = outcome.residency
+        service = outcome.page_service
+        trio = [vpn for vpn in ctx.freeze_trio() if vpn in res.mapped]
+
+        self._state_transfer(ctx)
+        arrival = now
+        payload = 0
+        for _vpn in trio:
+            arrival = to_dst.transfer_page(hw.page_size, ctx.sim.now)
+            payload += hw.page_size + to_dst.per_page_overhead_bytes
+        freeze_time = hw.migration_setup_time + (arrival - now)
+
+        # Flush everything else (dirty by construction) to the file
+        # server, in page order, starting when the freeze ends.
+        rest = sorted(res.mapped - set(trio))
+        for vpn in rest:
+            res.unmap(vpn)
+            outcome.mpt.mark_home(vpn)
+            service.flush_times[vpn] = to_fs.transfer_page(hw.page_size, now + freeze_time)
+
+        home = ctx.home or ctx.src
+        service.request_channel = ctx.network.direction(ctx.dst, ctx.file_server)
+        service.reply_channel = ctx.network.direction(ctx.file_server, ctx.dst)
+        service.deputy_request_channel = ctx.network.direction(ctx.dst, home)
+        service.deputy.rebind(ctx.network.direction(home, ctx.dst))
+
+        outcome.freeze_time = freeze_time
+        outcome.bytes_transferred = payload
+        outcome.pages_shipped = len(trio)
+        outcome.extra["flushed_pages"] = outcome.extra.get("flushed_pages", 0.0) + float(
+            len(rest)
+        )

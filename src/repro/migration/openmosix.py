@@ -52,3 +52,23 @@ class OpenMosixMigration(MigrationStrategy):
             policy=None,
             page_service=service,
         )
+
+    def rehop(self, ctx: MigrationContext, outcome: MigrationOutcome) -> None:
+        """Re-migrate: one bulk stream of every resident page (openMosix
+        always moves the whole address space, so nothing stays behind and
+        no transit deputy is needed — only the home syscall path rebinds)."""
+        self._guard_rehop(ctx)
+        now = ctx.sim.now
+        hw = ctx.hardware
+        channel = ctx.network.direction(ctx.src, ctx.dst)
+        resident = sorted(outcome.residency.mapped)
+
+        self._state_transfer(ctx)
+        bulk_payload = len(resident) * (hw.page_size + channel.per_page_overhead_bytes)
+        arrival = channel.transfer(bulk_payload, ctx.sim.now)
+        freeze_time = hw.migration_setup_time + (arrival - now)
+
+        self._leave_transit_deputy(ctx, outcome, ())
+        outcome.freeze_time = freeze_time
+        outcome.bytes_transferred = bulk_payload + channel.per_message_overhead_bytes
+        outcome.pages_shipped = len(resident)

@@ -240,6 +240,22 @@ class Deputy:
         return dict(zip(ordered, ends))
 
     # ------------------------------------------------------------------
+    def holds_replay(self, vpn: int) -> bool:
+        """True if ``vpn`` was released recently enough to be re-sendable
+        from the replay cache (routing hint for multi-hop page services)."""
+        return vpn in self._replay_pages
+
+    def rebind(self, reply_channel: Direction) -> None:
+        """Point the reply stream at the migrant's new location.
+
+        Re-migration (paper section 3.2) leaves this deputy where it is —
+        only the link its replies travel changes.  Its ledger, replay
+        cache, and busy clock carry over untouched, so pages it still
+        holds keep being served (and audited) from the same place.
+        """
+        self.reply_channel = reply_channel
+
+    # ------------------------------------------------------------------
     def audit_ledger(self) -> None:
         """Verify the deputy's own page ledger (repro.check deep audit).
 

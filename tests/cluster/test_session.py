@@ -1,0 +1,250 @@
+"""Tests for the ScenarioRuntime: multi-hop re-migration, wrapper parity,
+and the scheduler-driven placement loop."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.cluster import multi as multi_mod
+from repro.cluster import runner as runner_mod
+from repro.cluster.runner import MigrationRun
+from repro.cluster.scheduler import SchedulerDriver
+from repro.cluster.session import ScenarioRuntime
+from repro.cluster.topology import (
+    FILE_SERVER,
+    HOME,
+    MigrantSpec,
+    NodeGraph,
+    ScenarioSpec,
+    two_node_spec,
+)
+from repro.config import CheckSpec, FaultSpec, SimulationConfig
+from repro.errors import MigrationError
+from repro.migration.ampom import AmpomMigration
+from repro.migration.ffa import FfaMigration
+from repro.migration.noprefetch import NoPrefetchMigration
+from repro.migration.openmosix import OpenMosixMigration
+from repro.units import mib
+from repro.workloads.synthetic import SequentialWorkload
+
+CHECKED = SimulationConfig(checks=CheckSpec(enabled=True))
+
+
+def _three_hop_spec(strategy, config=CHECKED, hop_delay=0.02, faults=None):
+    nodes = [HOME, "n1", "n2"]
+    if isinstance(strategy, FfaMigration):
+        nodes.append(FILE_SERVER)
+    if faults is not None:
+        config = config.with_(faults=faults)
+    return ScenarioSpec(
+        graph=NodeGraph(tuple(nodes)),
+        migrants=(
+            MigrantSpec(
+                workload=SequentialWorkload(mib(1), sweeps=2),
+                strategy=strategy,
+                path=(HOME, "n1", "n2"),
+                hop_delays=(hop_delay,),
+            ),
+        ),
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# two-node equivalence + lifecycle
+# ----------------------------------------------------------------------
+def test_two_node_spec_matches_migration_run():
+    direct = MigrationRun(
+        SequentialWorkload(mib(1), sweeps=2), AmpomMigration()
+    ).execute()
+    via_spec = ScenarioRuntime(
+        two_node_spec(SequentialWorkload(mib(1), sweeps=2), AmpomMigration())
+    ).execute()[0]
+    assert via_spec.to_dict() == direct.to_dict()
+
+
+def test_runtime_single_use():
+    runtime = ScenarioRuntime(
+        two_node_spec(SequentialWorkload(mib(1)), AmpomMigration())
+    )
+    runtime.execute()
+    with pytest.raises(MigrationError):
+        runtime.execute()
+    runtime2 = ScenarioRuntime(
+        two_node_spec(SequentialWorkload(mib(1)), AmpomMigration())
+    )
+    runtime2.measure_freeze()
+    with pytest.raises(MigrationError):
+        runtime2.execute()
+
+
+# ----------------------------------------------------------------------
+# multi-hop re-migration (section 3.2)
+# ----------------------------------------------------------------------
+def test_three_hop_residency_conservation_and_transit_deputy():
+    runtime = ScenarioRuntime(_three_hop_spec(AmpomMigration()))
+    result = runtime.execute()[0]
+    assert result.extra["hops"] == 2.0
+
+    outcome = runtime.outcomes[0]
+    service = outcome.page_service
+    # Home deputy + one transit deputy on n1.
+    assert len(service.deputies) == 2
+    home_deputy, transit = service.deputies
+
+    # The transit deputy drained pages to n2 (demand + prefetch routing).
+    assert transit.pages_served > 0
+    transit.audit_ledger()
+    home_deputy.audit_ledger()
+
+    # Home-dependency forwarding: the home deputy's replies now flow
+    # directly to the final node, not through n1.
+    assert home_deputy.reply_channel is runtime.cluster.network.direction(
+        HOME, "n2"
+    )
+
+    # Residency conservation: every page is in exactly one state, and on a
+    # clean run every remote page is stored by exactly the deputy chain.
+    res = outcome.residency
+    sets = res.state_sets()
+    assert sum(len(s) for s in sets.values()) == res.total_pages
+    names = list(sets)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            assert not (sets[a] & sets[b])
+    hpt_union = home_deputy.hpt.pages | transit.hpt.pages
+    assert sets["remote"] <= hpt_union
+    assert hpt_union <= sets["remote"] | sets["in_flight"]
+
+    checker = runtime.checkers[0]
+    assert checker is not None and checker.deep_audits > 0
+
+
+@pytest.mark.parametrize(
+    "strategy_cls",
+    (AmpomMigration, OpenMosixMigration, NoPrefetchMigration, FfaMigration),
+    ids=("AMPoM", "openMosix", "NoPrefetch", "FFA"),
+)
+def test_three_hop_completes_under_every_scheme(strategy_cls):
+    runtime = ScenarioRuntime(_three_hop_spec(strategy_cls()))
+    result = runtime.execute()[0]
+    assert result.extra["hops"] == 2.0
+    assert result.total_time == pytest.approx(
+        result.freeze_time + result.run_time
+    )
+    checker = runtime.checkers[0]
+    assert checker is not None and checker.deep_audits > 0
+
+
+def test_three_hop_lossy_links():
+    faults = FaultSpec(
+        loss_rate=0.05, duplicate_rate=0.02, delay_rate=0.1, delay_s=0.005
+    )
+    config = SimulationConfig(seed=7, checks=CheckSpec(enabled=True))
+    runtime = ScenarioRuntime(
+        _three_hop_spec(AmpomMigration(), config=config, faults=faults)
+    )
+    result = runtime.execute()[0]
+    assert result.extra["hops"] == 2.0
+    c = result.counters
+    # The injected faults actually bit: something was dropped and recovered.
+    assert c.messages_dropped > 0
+    assert c.retransmits + c.prefetch_writeoffs > 0
+    # The deputy-chain ledgers still balance under loss.
+    for deputy in runtime.outcomes[0].page_service.deputies:
+        deputy.audit_ledger()
+    checker = runtime.checkers[0]
+    assert checker is not None and checker.deep_audits > 0
+
+
+def test_three_hop_is_deterministic():
+    first = ScenarioRuntime(_three_hop_spec(AmpomMigration())).execute()[0]
+    second = ScenarioRuntime(_three_hop_spec(AmpomMigration())).execute()[0]
+    assert first.to_dict() == second.to_dict()
+
+
+# ----------------------------------------------------------------------
+# wrapper parity (satellite: MigrationRun / MultiMigrationRun stay thin)
+# ----------------------------------------------------------------------
+#: Keyword arguments both drivers must accept with identical defaults.
+SHARED_KWARGS = (
+    "config",
+    "with_infod",
+    "shaped_bandwidth_bps",
+    "shaped_latency_s",
+    "max_events",
+    "capacity_pages",
+    "fault_log",
+    "obs",
+)
+
+#: Imperative wiring that must live only in session.py / cluster.py.
+FORBIDDEN_WIRING = (
+    "Cluster(",
+    "Network(",
+    ".connect(",
+    "InfoDaemon(",
+    "install_lossy_link",
+    "TrafficShaper(",
+    "FaultPlan(",
+)
+
+
+def test_wrapper_kwarg_parity():
+    single = inspect.signature(MigrationRun.__init__).parameters
+    multi = inspect.signature(multi_mod.MultiMigrationRun.__init__).parameters
+    for name in SHARED_KWARGS:
+        assert name in single, f"MigrationRun lost {name!r}"
+        assert name in multi, f"MultiMigrationRun lost {name!r}"
+        assert single[name].default == multi[name].default, (
+            f"default for {name!r} differs between the two drivers"
+        )
+
+
+@pytest.mark.parametrize("module", (runner_mod, multi_mod), ids=("runner", "multi"))
+def test_wrappers_contain_no_wiring(module):
+    source = inspect.getsource(module)
+    for needle in FORBIDDEN_WIRING:
+        assert needle not in source, (
+            f"{module.__name__} builds infrastructure ({needle!r}); "
+            "node/link construction belongs to ScenarioRuntime"
+        )
+
+
+# ----------------------------------------------------------------------
+# scheduler-driven placement (satellite: seeded 4-node imbalance)
+# ----------------------------------------------------------------------
+def _imbalanced_driver():
+    graph = NodeGraph(("n0", "n1", "n2", "n3"))
+    placements = [
+        (SequentialWorkload(mib(1), sweeps=8), "n0") for _ in range(6)
+    ]
+    return SchedulerDriver(
+        graph,
+        placements,
+        AmpomMigration,
+        config=SimulationConfig(seed=11),
+        balance_interval=0.2,
+    )
+
+
+def test_scheduler_driver_migrates_off_the_loaded_node():
+    drive = _imbalanced_driver().execute()
+    assert drive.decisions, "the imbalance never triggered a migration"
+    assert all(d.src == "n0" for d in drive.decisions)
+    assert drive.migrants
+    assert len(drive.results) == len(drive.migrants)
+    for migrant, result in zip(drive.migrants, drive.results):
+        assert migrant.path[0] == "n0"
+        assert result.total_time > 0.0
+
+
+def test_scheduler_driver_is_deterministic():
+    first = _imbalanced_driver().execute()
+    second = _imbalanced_driver().execute()
+    assert first.decisions == second.decisions
+    assert [r.to_dict() for r in first.results] == [
+        r.to_dict() for r in second.results
+    ]

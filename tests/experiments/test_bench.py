@@ -34,6 +34,7 @@ class TestHarness:
             "demand_paging",
             "ampom_pipeline",
             "random_faults",
+            "three_hop",
             "ampom_traced",
         }
 

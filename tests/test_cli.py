@@ -360,3 +360,48 @@ def test_unknown_command_rejected():
 def test_invalid_kernel_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--kernel", "HPL", "--mb", "100", "--scheme", "AMPoM"])
+
+
+def test_cluster_run_preset(capsys):
+    rc = main(["cluster", "run", "--preset", "three-hop", "--scale", SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "preset three-hop" in out
+    assert "home->n1->n2" in out
+
+
+def test_cluster_run_spec_file(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "scenario.json"
+    spec.write_text(
+        json.dumps(
+            {
+                "nodes": ["home", "n1", "n2"],
+                "migrants": [
+                    {
+                        "kernel": "DGEMM",
+                        "memory_mb": 115,
+                        "scale": float(SMALL),
+                        "scheme": "AMPoM",
+                        "path": ["home", "n1", "n2"],
+                        "hop_delays": [0.25],
+                    }
+                ],
+            }
+        )
+    )
+    rc = main(["cluster", "run", "--spec", str(spec), "--json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    payload = json.loads(out)
+    assert payload[0]["path"] == ["home", "n1", "n2"]
+    assert payload[0]["total_time_s"] > 0
+
+
+def test_cluster_run_spec_rejects_preset_options(tmp_path, capsys):
+    spec = tmp_path / "scenario.json"
+    spec.write_text("{}")
+    rc = main(["cluster", "run", "--spec", str(spec), "--scheme", "FFA"])
+    assert rc == 2
+    assert "--preset runs only" in capsys.readouterr().out

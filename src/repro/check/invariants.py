@@ -53,6 +53,7 @@ from ..errors import InvariantViolation
 from ..mem.fault import FaultKind
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import NodeFaultPlan
     from ..metrics.counters import Counters
     from ..migration.base import MigrationOutcome
     from ..sim import Simulator
@@ -79,11 +80,13 @@ class InvariantChecker:
         sim: "Simulator",
         outcome: "MigrationOutcome",
         counters: "Counters",
+        node_plan: "NodeFaultPlan | None" = None,
     ) -> None:
         self.spec = spec
         self.sim = sim
         self.outcome = outcome
         self.counters = counters
+        self.node_plan = node_plan
         self._trace: deque[CheckEvent] = deque(maxlen=max(spec.trace_depth, 1))
         self._last_time = sim.now
         self._events_checked = 0
@@ -102,7 +105,9 @@ class InvariantChecker:
         #: post-freeze flush, not by remote paging, so the two-sided
         #: HPT/residency bound only holds one way there.
         self._is_ffa = hasattr(outcome.page_service, "flush_times")
-        self._fault_free = not self._has_fault_plan()
+        self._fault_free = not (
+            self._has_fault_plan() or (node_plan is not None and node_plan.active)
+        )
 
     # ------------------------------------------------------------------
     def _has_fault_plan(self) -> bool:
@@ -173,6 +178,18 @@ class InvariantChecker:
         self._events_checked += 1
         if self._events_checked % self.spec.deep_audit_interval == 0:
             self.deep_audit()
+
+    def note_interrupted_fault(self, kind: FaultKind) -> None:
+        """Reconcile a fault cut short by a node crash.
+
+        The executor bumps the per-kind counter when a fault is
+        classified but only reports it here once the stall resolves; a
+        :class:`repro.errors.ProcessLostError` raised mid-stall kills the
+        process in between.  The teardown path calls this so the
+        fault-counter-consistency tally still balances at final audit.
+        """
+        self._observed[kind] += 1
+        self._record("fault", f"{kind.value} interrupted by node crash")
 
     def final_audit(self) -> None:
         """Run at end of execution: deep audit + full counter consistency."""
@@ -287,9 +304,12 @@ class InvariantChecker:
         # their ledgers.
         service = self.outcome.page_service
         deputies = getattr(service, "deputies", None)
+        # Deputies whose host crashed keep being audited: chain repair must
+        # leave their HPTs empty (every page forfeited and re-homed).
+        dead = list(getattr(service, "dead_deputies", ()))
         if deputies is not None:
             hpt_pages = set()
-            for deputy in deputies:
+            for deputy in [*deputies, *dead]:
                 hpt_pages |= deputy.hpt.pages
         else:
             hpt_pages = self.outcome.hpt.pages
@@ -313,7 +333,7 @@ class InvariantChecker:
 
         if not hasattr(service, "flush_times"):
             if deputies is not None:
-                for deputy in deputies:
+                for deputy in [*deputies, *dead]:
                     deputy.audit_ledger()
             else:
                 deputy = getattr(service, "deputy", None)

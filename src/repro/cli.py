@@ -205,6 +205,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit per-migrant results as JSON"
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded node-crash chaos sweep (see docs/FAULTS.md)",
+        description="Run the preset x scheme matrix under seeded random "
+        "whole-node crash schedules with the invariant checker forced on.  "
+        "Kills and retry exhaustion are modelled outcomes; the command "
+        "fails (exit 1) only on an InvariantViolation — some "
+        "crash/abort/repair interleaving corrupted the modelled state.",
+    )
+    from .cluster.chaos import DEFAULT_PRESETS as _CHAOS_PRESETS
+    from .cluster.chaos import DEFAULT_SCHEMES as _CHAOS_SCHEMES
+
+    chaos.add_argument(
+        "--presets",
+        nargs="+",
+        choices=tuple(_CLUSTER_PRESETS),
+        default=list(_CHAOS_PRESETS),
+        help="scenario presets to sweep",
+    )
+    chaos.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=("AMPoM", "openMosix", "FFA", "NoPrefetch"),
+        default=list(_CHAOS_SCHEMES),
+        help="migration schemes to sweep",
+    )
+    chaos.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0, 1, 2],
+        help="one independent crash schedule per seed",
+    )
+    chaos.add_argument("--scale", type=float, default=1 / 32)
+    chaos.add_argument(
+        "--crash-rate", type=float, default=1.0, help="per-node crashes per second"
+    )
+    chaos.add_argument(
+        "--mean-downtime", type=float, default=0.25, help="mean outage length (s)"
+    )
+    chaos.add_argument(
+        "--horizon", type=float, default=3.0, help="crash schedule horizon (s)"
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the full report to FILE (always written on violations)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the sweep results as JSON"
+    )
+
     check = sub.add_parser(
         "check",
         help="golden-trace regression harness (see docs/CHECKS.md)",
@@ -717,6 +770,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         label = f"preset {args.preset}"
     runtime = ScenarioRuntime(spec)
     results = runtime.execute()
+    faulty = runtime.injection_log is not None or runtime.node_plan is not None
     if args.json:
         import json
 
@@ -725,6 +779,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             entry = result.to_dict()
             entry["name"] = migrant.name
             entry["path"] = list(migrant.path)
+            if faulty:
+                # Runtime-wide reliability telemetry rides on every entry
+                # so the payload stays a flat list of migrant records.
+                entry["fault_events"] = (
+                    runtime.injection_log.summary()
+                    if runtime.injection_log is not None
+                    else {}
+                )
+                entry["reliability"] = runtime.node_stats.as_dict()
             payload.append(entry)
         print(json.dumps(payload, indent=2))
         return 0
@@ -755,7 +818,65 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if checkers:
         audits = sum(c.deep_audits for c in checkers)
         print(f"invariant checker: on ({audits} deep audits, no violations)")
+    if faulty:
+        if runtime.injection_log is not None and len(runtime.injection_log):
+            counts = runtime.injection_log.summary()
+            print(
+                "fault events: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+        stats = runtime.node_stats
+        print(
+            f"reliability: crashes={stats.crashes} aborts={stats.migration_aborts} "
+            f"retargets={stats.retargets} repairs={stats.chain_repairs} "
+            f"kills={stats.kills} detections={stats.detections} "
+            f"(mean latency {stats.mean_detection_latency_s:.4f} s) "
+            f"false_suspicions={stats.false_suspicions}"
+        )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .cluster.chaos import run_chaos
+
+    report = run_chaos(
+        presets=tuple(args.presets),
+        schemes=tuple(args.schemes),
+        seeds=tuple(args.seeds),
+        scale=args.scale,
+        crash_rate_hz=args.crash_rate,
+        mean_downtime_s=args.mean_downtime,
+        horizon_s=args.horizon,
+    )
+    text = report.to_text()
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = {
+            "runs": [dataclasses.asdict(run) for run in report.runs],
+            "violations": [
+                {
+                    "preset": run.preset,
+                    "scheme": run.scheme,
+                    "seed": run.seed,
+                    "error": str(violation),
+                }
+                for run, violation in report.violations
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(text)
+    out = args.report
+    if out is None and not report.ok:
+        out = "chaos-violations.txt"
+    if out is not None:
+        from pathlib import Path
+
+        Path(out).write_text(text + "\n")
+        print(f"wrote {out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -811,6 +932,7 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "export": _cmd_export,
     "check": _cmd_check,
+    "chaos": _cmd_chaos,
     "cluster": _cmd_cluster,
     "bench": _cmd_bench,
 }

@@ -9,6 +9,7 @@ configuration in, an :class:`repro.migration.executor.ExecutionResult`
 out.
 """
 
+from .chaos import ChaosReport, ChaosRun, chaos_cell, run_chaos
 from .cluster import Cluster
 from .gossip import GossipLoadMap
 from .loadgen import BackgroundLoad, LoadWindow
@@ -41,6 +42,8 @@ from .topology import (
 
 __all__ = [
     "BackgroundLoad",
+    "ChaosReport",
+    "ChaosRun",
     "Cluster",
     "ClusterScheduler",
     "DEST",
@@ -62,9 +65,11 @@ __all__ = [
     "SchedulerReport",
     "Task",
     "build_preset",
+    "chaos_cell",
     "load_scenario",
     "parallel_map",
     "resolve_jobs",
+    "run_chaos",
     "scenario_from_dict",
     "two_node_spec",
 ]

@@ -16,13 +16,17 @@ decentralized views instead of its omniscient default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import ConfigurationError
 from ..net.message import Message, MessageKind
 from ..sim import Simulator, Timeout
 from ..sim.rng import child_rng
 from .cluster import Cluster
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.log import FaultInjectionLog, NodeFaultStats
+    from ..faults.plan import NodeFaultPlan
 
 
 @dataclass(slots=True)
@@ -48,6 +52,10 @@ class GossipLoadMap:
         interval: float = 1.0,
         fanout_entries: int = 4,
         seed: int = 0,
+        node_plan: "NodeFaultPlan | None" = None,
+        suspect_staleness_s: float = 3.0,
+        stats: "NodeFaultStats | None" = None,
+        log: "FaultInjectionLog | None" = None,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError(f"interval must be positive: {interval}")
@@ -58,12 +66,18 @@ class GossipLoadMap:
         self.load_of = load_of
         self.interval = interval
         self.fanout_entries = fanout_entries
+        self.node_plan = node_plan
+        self.suspect_staleness_s = suspect_staleness_s
+        self.stats = stats
+        self.log = log
         self._names = sorted(cluster.nodes)
         if len(self._names) < 2:
             raise ConfigurationError("gossip needs at least two nodes")
         self._rng = child_rng(seed, "gossip")
         #: views[node][other] -> LoadEntry
         self.views: dict[str, dict[str, LoadEntry]] = {n: {} for n in self._names}
+        #: suspects[node] -> peers this node currently believes dead
+        self._suspects: dict[str, set[str]] = {n: set() for n in self._names}
         self.updates_sent = 0
         self._procs = [
             sim.spawn(self._daemon(name), name=f"gossip@{name}") for name in self._names
@@ -75,9 +89,16 @@ class GossipLoadMap:
         yield Timeout(float(self._rng.uniform(0.0, self.interval)))
         while True:
             self._send_update(name)
+            if self.node_plan is not None:
+                self._evaluate_suspicions(name)
             yield Timeout(self.interval)
 
     def _send_update(self, sender: str) -> None:
+        if self.node_plan is not None and self.node_plan.down(sender, self.sim.now):
+            # A dark node gossips nothing: its load stops propagating, and
+            # peers' views of it go stale — that staleness IS the failure
+            # signal picked up by _evaluate_suspicions.
+            return
         peers = [n for n in self._names if n != sender]
         target = peers[int(self._rng.integers(0, len(peers)))]
         # Own fresh sample plus a random subset of known entries.
@@ -103,6 +124,8 @@ class GossipLoadMap:
         self.updates_sent += 1
 
     def _deliver(self, message: Message, _arrival: float) -> None:
+        if self.node_plan is not None and self.node_plan.down(message.dst, _arrival):
+            return  # the receiver is dark: the update is lost
         view = self.views[message.dst]
         for node, entry in message.body.items():
             if node == message.dst:
@@ -112,6 +135,63 @@ class GossipLoadMap:
                 view[node] = entry
 
     # ------------------------------------------------------------------
+    def _evaluate_suspicions(self, observer: str) -> None:
+        """Staleness-threshold failure detection, run once per gossip tick.
+
+        ``observer`` suspects every peer whose last sample is older than
+        ``suspect_staleness_s``.  Transitions are recorded on the shared
+        :class:`repro.faults.NodeFaultStats`: a suspicion of a node that
+        really is down counts as a detection (with latency measured from
+        the crash instant), otherwise as a false suspicion — gossip is
+        probabilistic, so a slow-to-propagate sample can smear a live node.
+        """
+        now = self.sim.now
+        plan = self.node_plan
+        assert plan is not None
+        if plan.down(observer, now):
+            return  # the dead observe nothing
+        suspects = self._suspects[observer]
+        for other, entry in self.views[observer].items():
+            stale = now - entry.sampled_at > self.suspect_staleness_s
+            if stale and other not in suspects:
+                suspects.add(other)
+                if self.log is not None:
+                    from ..faults.log import FaultEventKind
+
+                    self.log.record(
+                        now, FaultEventKind.SUSPECT, channel="gossip",
+                        detail=f"{observer} suspects {other}",
+                    )
+                if self.stats is not None:
+                    self.stats.suspicions += 1
+                    if plan.down(other, now):
+                        self.stats.record_detection(now - self._crash_start(other, now))
+                    else:
+                        self.stats.false_suspicions += 1
+            elif not stale and other in suspects:
+                suspects.discard(other)
+                if self.log is not None:
+                    from ..faults.log import FaultEventKind
+
+                    self.log.record(
+                        now, FaultEventKind.UNSUSPECT, channel="gossip",
+                        detail=f"{observer} clears {other}",
+                    )
+                if self.stats is not None:
+                    self.stats.unsuspicions += 1
+
+    def _crash_start(self, node: str, t: float) -> float:
+        """Start of ``node``'s crash window containing ``t``."""
+        assert self.node_plan is not None
+        for start, end in self.node_plan.windows_for(node):
+            if start <= t < end:
+                return start
+        raise AssertionError(f"node {node!r} is not down at t={t}")
+
+    def suspects(self, node: str) -> frozenset[str]:
+        """Peers ``node`` currently believes are dead."""
+        return frozenset(self._suspects[node])
+
     def view(self, node: str) -> dict[str, int]:
         """``{other_node: believed_load}`` as known at ``node`` right now."""
         return {other: entry.load for other, entry in self.views[node].items()}

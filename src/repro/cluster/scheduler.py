@@ -91,6 +91,7 @@ class ClusterScheduler:
         time_slice: float = 0.1,
         min_task_lifetime: float = 0.0,
         gossip=None,
+        node_plan=None,
     ) -> None:
         if freeze_model not in ("ampom", "openmosix", "none"):
             raise ConfigurationError(f"unknown freeze model {freeze_model!r}")
@@ -115,6 +116,12 @@ class ClusterScheduler:
         #: stale) gossip view and offloads to the least-loaded node it
         #: knows of.  When ``None``, the balancer is omniscient.
         self.gossip = gossip
+        #: Optional :class:`repro.faults.NodeFaultPlan`.  The central round
+        #: never targets a node that is currently down (the omniscient
+        #: balancer sees crashes instantly); the gossip round instead skips
+        #: peers the sender *suspects*, so detection latency is part of the
+        #: modelled cost.
+        self.node_plan = node_plan
         self.migrations = 0
         self.total_frozen_time = 0.0
         #: Every placement decision in the order it was taken.
@@ -189,11 +196,21 @@ class ClusterScheduler:
             and t.cpu_seconds >= self.min_task_lifetime
         ]
 
+    def _alive(self, names) -> list[str]:
+        """Nodes not currently inside a crash window (all, if no plan)."""
+        if self.node_plan is None:
+            return list(names)
+        now = self.sim.now
+        return [n for n in names if not self.node_plan.down(n, now)]
+
     def _central_round(self) -> None:
         """Omniscient greedy balancing (exact global loads)."""
         loads = self._loads()
-        busiest = max(loads, key=lambda n: loads[n])
-        idlest = min(loads, key=lambda n: loads[n])
+        alive = self._alive(loads)
+        if len(alive) < 2:
+            return
+        busiest = max(alive, key=lambda n: loads[n])
+        idlest = min(alive, key=lambda n: loads[n])
         if loads[busiest] - loads[idlest] < self.load_gap_threshold:
             return
         candidates = self._eligible(busiest)
@@ -206,7 +223,12 @@ class ClusterScheduler:
         """Decentralized, sender-initiated balancing from gossip views."""
         loads = self._loads()
         for node in sorted(self.cluster.nodes):
+            if self.node_plan is not None and self.node_plan.down(node, self.sim.now):
+                continue  # a dead node takes no decisions
             view = self.gossip.view(node)
+            if hasattr(self.gossip, "suspects"):
+                suspected = self.gossip.suspects(node)
+                view = {n: load for n, load in view.items() if n not in suspected}
             if not view:
                 continue
             believed_idlest = min(view, key=lambda n: view[n])
@@ -319,6 +341,19 @@ class SchedulerDriver:
         cluster = Cluster(
             sim, self.config, self.graph.nodes, link_specs=self.graph.spec_overrides()
         )
+        node_plan = None
+        if self.config.node_faults.active:
+            from ..faults import NodeFaultPlan
+            from .topology import FILE_SERVER
+
+            # Same spec + seed as the runtime's plan, so phase 1 balances
+            # around the very crash schedule phase 2 will execute under.
+            node_plan = NodeFaultPlan(
+                self.config.node_faults,
+                seed=self.config.seed,
+                nodes=self.graph.nodes,
+                protected={FILE_SERVER} if FILE_SERVER in self.graph.nodes else (),
+            )
         tasks = []
         for i, (workload, home) in enumerate(self.placements):
             if workload.address_space is None:
@@ -344,6 +379,7 @@ class SchedulerDriver:
             time_slice=self.time_slice,
             min_task_lifetime=self.min_task_lifetime,
             gossip=self.gossip,
+            node_plan=node_plan,
         )
         report = scheduler.run()
         return report, list(scheduler.decisions)
@@ -402,7 +438,35 @@ class SchedulerDriver:
                 ScenarioSpec(graph=self.graph, migrants=migrants, config=self.config),
                 obs=obs,
             )
+            self._install_retarget(self.runtime)
             results = self.runtime.execute()
         return SchedulerDriveResult(
             report=report, decisions=decisions, migrants=migrants, results=results
         )
+
+    def _install_retarget(self, runtime) -> None:
+        """Arm the runtime's re-targeting hook under a node-fault plan.
+
+        When a migration aborts because its destination crashed, the
+        runtime asks this hook for a replacement before falling back to a
+        wait-for-restart retry.  The policy mirrors the balancer's greedy
+        rule: least-loaded live node not already on the route (and never
+        the file server)."""
+        from .topology import FILE_SERVER
+
+        plan = runtime.node_plan
+        if plan is None:
+            return
+
+        def retarget(route, hop, now):
+            taken = set(route)
+            candidates = [
+                n
+                for n in self.graph.nodes
+                if n not in taken and n != FILE_SERVER and not plan.down(n, now)
+            ]
+            if not candidates:
+                return None
+            return min(candidates, key=lambda n: (runtime.cluster.node(n).load, n))
+
+        runtime.retarget = retarget

@@ -24,8 +24,15 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-from ..errors import MigrationError
-from ..faults import FaultInjectionLog, FaultPlan, install_lossy_link
+from ..errors import MigrationError, ProcessLostError
+from ..faults import (
+    FaultEventKind,
+    FaultInjectionLog,
+    FaultPlan,
+    NodeFaultPlan,
+    NodeFaultStats,
+    install_lossy_link,
+)
 from ..migration.base import MigrationContext, MigrationOutcome, MigrationStrategy
 from ..migration.executor import ExecutionResult, MigrantExecutor
 from ..migration.ffa import FfaMigration
@@ -87,6 +94,30 @@ class ScenarioRuntime:
             )
             for a, b in self._lossy_pairs():
                 install_lossy_link(self.cluster.network, a, b, self.fault_plan)
+
+        # Whole-node failure schedule (NodeFaultSpec): seeded crash/restart
+        # windows per topology node.  A crashed node takes its deputies,
+        # infod answers, and gossip participation down atomically; the
+        # per-migrant recovery paths live in _migrant.  The file server is
+        # protected — FFA assumes a reliable backing store.
+        self.node_plan: NodeFaultPlan | None = None
+        self.node_stats = NodeFaultStats()
+        #: Optional re-targeting hook ``f(route, hop, now) -> node | None``
+        #: installed by :class:`repro.cluster.scheduler.SchedulerDriver`;
+        #: consulted when a migration's destination is dark.
+        self.retarget = None
+        if self.config.node_faults.active:
+            plan = NodeFaultPlan(
+                self.config.node_faults,
+                seed=self.config.seed,
+                nodes=graph.nodes,
+                protected={FILE_SERVER} if FILE_SERVER in graph.nodes else (),
+            )
+            if plan.active:
+                self.node_plan = plan
+                if self.injection_log is None:
+                    self.injection_log = FaultInjectionLog()
+                self._schedule_node_boundaries()
 
         # Section 5.5: tc/iptables shaping of individual links.
         for link in graph.links:
@@ -155,6 +186,130 @@ class ScenarioRuntime:
             if link.lossy and link.pair not in seen:
                 pairs.append((link.a, link.b))
         return pairs
+
+    # ------------------------------------------------------------------
+    # whole-node failure machinery
+    # ------------------------------------------------------------------
+    def _schedule_node_boundaries(self) -> None:
+        """Schedule a logging/counting callback at every crash/restart
+        boundary of the node plan (boundaries after the last migrant
+        finishes simply never fire)."""
+        assert self.node_plan is not None
+        for time, node, is_crash in self.node_plan.boundaries():
+            self.sim.schedule_at(time, self._node_boundary(node, time, is_crash))
+
+    def _node_boundary(self, node: str, time: float, is_crash: bool):
+        def fire() -> None:
+            n = self.cluster.node(node)
+            if is_crash:
+                n.crashes += 1
+                self.node_stats.crashes += 1
+                kind = FaultEventKind.NODE_CRASH
+            else:
+                n.restarts += 1
+                self.node_stats.restarts += 1
+                kind = FaultEventKind.NODE_RESTART
+            if self.injection_log is not None:
+                self.injection_log.record(time, kind, channel="node", detail=node)
+
+        return fire
+
+    def _arm_deputy(self, deputy, node: str, born: float) -> None:
+        """Tie a deputy's liveness to its host node: once the node crashes
+        after ``born`` the deputy is permanently gone (requests are
+        ignored), even across the node's restart."""
+        plan = self.node_plan
+        if plan is None or deputy is None or deputy.node_outage is not None:
+            return
+
+        def outage(t: float, _node: str = node, _born: float = born) -> bool:
+            return plan.down(_node, t) or plan.crashed_in(_node, _born, t)
+
+        deputy.node_outage = outage
+        if deputy.node_log is None:
+            deputy.node_log = self.injection_log
+
+    def _arm_transit_deputies(self, outcome: MigrationOutcome) -> None:
+        """Arm any transit deputies a rehop just created (the home deputy
+        keeps its original closure — _arm_deputy preserves the birth)."""
+        service = outcome.page_service
+        deputies = getattr(service, "deputies", None)
+        if deputies is None or not hasattr(service, "transit_routes"):
+            return
+        for (node, born), deputy in zip(service.transit_routes(), deputies[1:]):
+            self._arm_deputy(deputy, node, born)
+
+    def _hazard_for(self, node: str, since: float, home: str, home_since: float, infod):
+        """Build the executor's between-events crash check for one leg.
+
+        The migrant's *own* node is checked omnisciently (the process dies
+        with the machine — there is nobody left to be notified); the home
+        node's death is only acted on once the failure detector (infod
+        probe suspicion) has noticed it, so a CPU-bound migrant that never
+        talks to a dead home keeps running until it does.
+        """
+        plan = self.node_plan
+        assert plan is not None
+
+        def check(now: float) -> None:
+            if plan.down(node, now) or plan.crashed_in(node, since, now):
+                raise ProcessLostError(
+                    f"node {node!r} crashed under the migrant at t={now:.6f}"
+                )
+            if (
+                infod is not None
+                and infod.suspected
+                and plan.crashed_in(home, home_since, now)
+            ):
+                raise ProcessLostError(
+                    f"home node {home!r} crashed at t={now:.6f}; the deputy is "
+                    "gone and openMosix's home dependency kills the migrant"
+                )
+
+        return check
+
+    def _crash_handler(self, outcome: MigrationOutcome, home: str, home_since: float):
+        """Build the executor's ``on_crash_detect`` hook: fired when the
+        retry protocol concludes a remote server is dead.  Home death is
+        fatal (checked first); a dead transit deputy triggers chain repair
+        — its pages are re-sourced from the home deputy and the route is
+        dropped, so the pending retransmission reaches a live server.
+        """
+        plan = self.node_plan
+        assert plan is not None
+
+        def handle() -> None:
+            now = self.sim.now
+            if plan.crashed_in(home, home_since, now):
+                # Probe-timeout escalation IS a failure detection: latency
+                # runs from the crash instant to the protocol's conclusion.
+                crash = plan.first_crash_in(home, home_since, now)
+                if crash is not None:
+                    self.node_stats.record_detection(now - crash)
+                raise ProcessLostError(
+                    f"home node {home!r} crashed at t={now:.6f}; the deputy is "
+                    "gone and openMosix's home dependency kills the migrant"
+                )
+            service = outcome.page_service
+            if not hasattr(service, "transit_routes"):
+                return
+            for node, born in list(service.transit_routes()):
+                if plan.crashed_in(node, born, now):
+                    crash = plan.first_crash_in(node, born, now)
+                    if crash is not None:
+                        self.node_stats.record_detection(now - crash)
+                    lost = service.repair_route(node, now)
+                    self.node_stats.chain_repairs += 1
+                    self.node_stats.pages_rehomed += len(lost)
+                    if self.injection_log is not None:
+                        self.injection_log.record(
+                            now,
+                            FaultEventKind.CHAIN_REPAIR,
+                            channel="migrant",
+                            detail=f"node={node} pages={len(lost)}",
+                        )
+
+        return handle
 
     # ------------------------------------------------------------------
     @property
@@ -238,6 +393,10 @@ class ScenarioRuntime:
                 from_home=self.cluster.network.direction(home, dst),
                 config=self.config.infod,
                 min_bandwidth_fraction=self.config.ampom.min_bandwidth_fraction,
+                node_plan=self.node_plan,
+                home=home,
+                suspect_after=self.config.node_faults.probe_suspect_after,
+                stats=self.node_stats,
             )
             self._infods[key] = infod
         return infod
@@ -257,6 +416,10 @@ class ScenarioRuntime:
         tracer = obs.tracer if obs is not None else None
         single = len(self.spec.migrants) == 1
         path = migrant.path
+        # Mutable copy of the path: failure-aware re-targeting may rewrite
+        # a hop whose destination crashed.  Same length, same start.
+        route = list(path)
+        plan = self.node_plan
         # The classic single-migrant scenario starts at t=0 with no delay
         # event; staggered multi-migrant runs always schedule one.
         if not single or migrant.start_s > 0.0:
@@ -265,13 +428,92 @@ class ScenarioRuntime:
         strategy = resolve_strategy(migrant.strategy)
         space = migrant.workload.setup()
         premigration = migrant.workload.premigration_pages()
-        ctx = self._context(migrant, strategy, space, premigration, src=path[0], dst=path[1])
-        outcome = strategy.perform(ctx)
+
+        # --- first migration, with destination-crash abort/rollback ------
+        # A crash of the destination inside the freeze aborts the attempt:
+        # the partial transfer is written off, the stall is charged to the
+        # freeze bucket, and the migrant retries (re-targeted at a survivor
+        # when a SchedulerDriver installed a retarget hook, after the
+        # destination's restart plus a backoff otherwise).  Every second
+        # spent on aborted attempts lands in ``pre_freeze`` and from there
+        # in the budget's freeze bucket, so the wall-time identity holds.
+        pre_freeze = 0.0
+        attempt = 0
+        while True:
+            home = route[0]
+            if plan is not None and (
+                plan.down(home, sim.now) or plan.crashed_in(home, 0.0, sim.now)
+            ):
+                # The process was still on its home node when that node
+                # crashed: it dies before migrating at all.
+                result = self._killed_before_migration(migrant, home)
+                self.results[index] = result
+                return result
+            dst = route[1]
+            if plan is not None and plan.down(dst, sim.now):
+                # The destination is dark before the freeze even starts:
+                # the connect attempt times out, then re-target or wait.
+                wait = config.retry.timeout_s
+                if tracer is not None:
+                    tracer.complete(
+                        MIGRANT_TRACK, "freeze", sim.now, wait, "freeze", aborted=True
+                    )
+                yield Timeout(wait)
+                pre_freeze += wait
+                attempt += 1
+                if attempt > config.retry.max_attempts:
+                    raise MigrationError(
+                        f"migration of {migrant.workload.name} to {dst!r} kept "
+                        f"aborting ({attempt} attempts): the destination outage "
+                        "outlasts the retry budget"
+                    )
+                pre_freeze += yield from self._handle_abort(
+                    route, 1, attempt - 1, "connect timeout"
+                )
+                continue
+            ctx = self._context(
+                migrant, strategy, space, premigration, src=route[0], dst=dst
+            )
+            outcome = strategy.perform(ctx)
+            if plan is None:
+                break
+            crash = plan.first_crash_in(dst, sim.now, sim.now + outcome.freeze_time)
+            if crash is None:
+                break
+            # Destination died mid-freeze: roll back.  The time already
+            # spent freezing is wasted (charged to freeze) and the pages
+            # shipped so far are written off with the discarded outcome.
+            wasted = crash - sim.now
+            self.node_stats.abort_freeze_s += wasted
+            self.node_stats.pages_abort_written_off += outcome.pages_shipped
+            if wasted > 0.0:
+                if tracer is not None:
+                    tracer.complete(
+                        MIGRANT_TRACK, "freeze", sim.now, wasted, "freeze", aborted=True
+                    )
+                yield Timeout(wasted)
+                pre_freeze += wasted
+            attempt += 1
+            if attempt > config.retry.max_attempts:
+                raise MigrationError(
+                    f"migration of {migrant.workload.name} to {dst!r} kept "
+                    f"aborting ({attempt} attempts): the destination outage "
+                    "outlasts the retry budget"
+                )
+            pre_freeze += yield from self._handle_abort(
+                route, 1, attempt - 1, f"crashed {wasted:.4g}s into the freeze"
+            )
         self.outcomes[index] = outcome
+        home = route[0]
+        home_since = sim.now
+        if plan is not None:
+            self._arm_deputy(
+                getattr(outcome.page_service, "deputy", None), home, home_since
+            )
 
         infod = None
         if migrant.with_infod and outcome.policy is not None:
-            infod = self._infod_for(dst=path[1], home=path[0])
+            infod = self._infod_for(dst=route[1], home=home)
             self.migrant_infods[index] = infod
         if self.fault_plan is not None:
             # Faults begin the instant the first migrant resumes; a later
@@ -299,89 +541,137 @@ class ScenarioRuntime:
         if self.fault_plan is not None:
             stream = "retry" if single else f"retry-{index}"
             retry_rng = child_rng(config.seed, stream)
+        if retry is None and plan is not None and hasattr(outcome.page_service, "next_seq"):
+            # Pure node-fault runs arm the reliable protocol too: requests
+            # to a dead deputy go unanswered, and only the retransmission
+            # loop turns that silence into detection + repair.  FFA has no
+            # sequence IDs — it participates through aborts and kills only.
+            retry = config.retry
+            stream = "retry" if single else f"retry-{index}"
+            retry_rng = child_rng(config.seed, stream)
 
         checker = None
         observers = ()
         carry = None
         run_time_base = 0.0
         hop = 1
-        while True:
-            last = hop == len(path) - 1
-            leg_start = sim.now
-            preempt_at = None if last else leg_start + migrant.hop_delays[hop - 1]
-            executor = MigrantExecutor(
-                sim=sim,
-                workload=migrant.workload,
-                outcome=outcome,
-                node=self.cluster.node(path[hop]),
-                hardware=config.hardware,
-                infod=infod,
-                capacity_pages=migrant.capacity_pages,
-                fault_log=migrant.fault_log,
-                retry=retry,
-                retry_rng=retry_rng,
-                injection_log=self.injection_log,
-                obs=obs,
-                preempt_at=preempt_at,
-                carry=carry,
-                run_time_base=run_time_base,
-            )
-            if carry is None:
-                if config.checks.enabled:
-                    checker = self._make_checker(index, outcome, executor)
-                observers = self._attach_observers(outcome, executor)
-            else:
-                executor.checker = checker
-            proc = executor.start()
-            result = yield proc
-            if proc.error is not None:
-                raise proc.error
-            if not executor.preempted:
-                break
-
-            # --- re-migration hop (section 3.2) -----------------------
-            # Quiesce on the current node: absorb or write off every page
-            # still on the wire, then hand the trace to the next leg.
-            yield from self._quiesce(executor, outcome)
-            run_time_base += sim.now - leg_start
-            src = path[hop]
-            hop += 1
-            hop_ctx = self._context(migrant, strategy, space, premigration, src=src, dst=path[hop])
-            strategy.rehop(hop_ctx, outcome)
-            if tracer is not None:
-                tracer.complete(
-                    MIGRANT_TRACK,
-                    "freeze",
-                    sim.now,
-                    outcome.freeze_time,
-                    "freeze",
-                    strategy=outcome.strategy,
-                    pages=outcome.pages_shipped,
+        executor = None
+        leg_start = sim.now
+        try:
+            while True:
+                last = hop == len(route) - 1
+                leg_start = sim.now
+                preempt_at = None if last else leg_start + migrant.hop_delays[hop - 1]
+                executor = MigrantExecutor(
+                    sim=sim,
+                    workload=migrant.workload,
+                    outcome=outcome,
+                    node=self.cluster.node(route[hop]),
+                    hardware=config.hardware,
+                    infod=infod,
+                    capacity_pages=migrant.capacity_pages,
+                    fault_log=migrant.fault_log,
+                    retry=retry,
+                    retry_rng=retry_rng,
+                    injection_log=self.injection_log,
+                    obs=obs,
+                    preempt_at=preempt_at,
+                    carry=carry,
+                    run_time_base=run_time_base,
                 )
-            if infod is not None:
-                if single:
-                    self._stop_infod(dst=src, home=path[0])
-                infod = None
-            if migrant.with_infod and outcome.policy is not None:
-                infod = self._infod_for(dst=path[hop], home=path[0])
-                self.migrant_infods[index] = infod
-            if obs is not None:
-                # A transit deputy may have appeared; hand it the bundle.
-                for deputy in getattr(outcome.page_service, "deputies", ()):
-                    deputy.obs = obs
-            carry = executor.carry_out()
-            yield Timeout(outcome.freeze_time)
+                if carry is None:
+                    executor.budget.freeze += pre_freeze
+                    if config.checks.enabled:
+                        checker = self._make_checker(index, outcome, executor)
+                    observers = self._attach_observers(outcome, executor)
+                else:
+                    executor.checker = checker
+                if plan is not None:
+                    executor.hazard = self._hazard_for(
+                        route[hop], leg_start - outcome.freeze_time,
+                        home, home_since, infod,
+                    )
+                    executor.on_crash_detect = self._crash_handler(
+                        outcome, home, home_since
+                    )
+                proc = executor.start()
+                result = yield proc
+                if proc.error is not None:
+                    raise proc.error
+                if not executor.preempted:
+                    break
+
+                # --- re-migration hop (section 3.2) -----------------------
+                # Quiesce on the current node: absorb or write off every page
+                # still on the wire, then hand the trace to the next leg.
+                yield from self._quiesce(executor, outcome)
+                run_time_base += sim.now - leg_start
+                src = route[hop]
+                hop += 1
+                if plan is not None:
+                    # Failure-aware re-hop: never freeze toward a node that
+                    # is currently dark — re-target or wait out its restart.
+                    rehop_attempt = 0
+                    while plan.down(route[hop], sim.now):
+                        rehop_attempt += 1
+                        if rehop_attempt > config.retry.max_attempts:
+                            raise MigrationError(
+                                f"re-migration of {migrant.workload.name} to "
+                                f"{route[hop]!r} kept aborting "
+                                f"({rehop_attempt} attempts): the destination "
+                                "outage outlasts the retry budget"
+                            )
+                        waited = yield from self._handle_abort(
+                            route, hop, rehop_attempt - 1, "rehop target dark"
+                        )
+                        executor.budget.freeze += waited
+                hop_ctx = self._context(
+                    migrant, strategy, space, premigration, src=src, dst=route[hop]
+                )
+                strategy.rehop(hop_ctx, outcome)
+                if plan is not None:
+                    self._arm_transit_deputies(outcome)
+                if tracer is not None:
+                    tracer.complete(
+                        MIGRANT_TRACK,
+                        "freeze",
+                        sim.now,
+                        outcome.freeze_time,
+                        "freeze",
+                        strategy=outcome.strategy,
+                        pages=outcome.pages_shipped,
+                    )
+                if infod is not None:
+                    if single:
+                        self._stop_infod(dst=src, home=route[0])
+                    infod = None
+                if migrant.with_infod and outcome.policy is not None:
+                    infod = self._infod_for(dst=route[hop], home=route[0])
+                    self.migrant_infods[index] = infod
+                if obs is not None:
+                    # A transit deputy may have appeared; hand it the bundle.
+                    for deputy in getattr(outcome.page_service, "deputies", ()):
+                        deputy.obs = obs
+                carry = executor.carry_out()
+                yield Timeout(outcome.freeze_time)
+        except ProcessLostError as lost:
+            result = self._teardown_killed(
+                migrant, outcome, executor, checker, observers, infod,
+                lost, run_time_base, leg_start, single,
+            )
+            self.results[index] = result
+            return result
 
         assert isinstance(result, ExecutionResult)
-        if len(path) > 2:
-            result.extra["hops"] = float(len(path) - 1)
+        if len(route) > 2:
+            result.extra["hops"] = float(len(route) - 1)
         if checker is not None:
             checker.final_audit()
             sim.remove_observer(checker.on_sim_event)
         for callback in observers:
             sim.remove_observer(callback)
         if single and infod is not None:
-            self._stop_infod(dst=path[-1], home=path[0])
+            self._stop_infod(dst=route[-1], home=route[0])
         if obs is not None and obs.metrics is not None:
             self._finalize_metrics(obs.metrics, result)
         self.results[index] = result
@@ -422,12 +712,149 @@ class ScenarioRuntime:
                 executor.discard_fetch(vpn)
 
     # ------------------------------------------------------------------
+    # node-failure recovery paths
+    # ------------------------------------------------------------------
+    def _handle_abort(self, route: list, hop: int, attempt: int, detail: str):
+        """Recover an aborted/unreachable migration hop: re-target at a
+        survivor when a retarget hook is installed, otherwise wait out the
+        destination's restart plus an exponential backoff.  Yields the
+        wait in simulated time and *returns* it so the caller can charge
+        it to the freeze bucket (keeping the wall-time identity)."""
+        sim = self.sim
+        plan = self.node_plan
+        assert plan is not None
+        dst = route[hop]
+        self.node_stats.migration_aborts += 1
+        if self.injection_log is not None:
+            self.injection_log.record(
+                sim.now,
+                FaultEventKind.MIGRATION_ABORT,
+                channel="migrant",
+                detail=f"dst={dst} {detail}",
+            )
+        target = self.retarget(route, hop, sim.now) if self.retarget is not None else None
+        if target is not None and target != dst:
+            route[hop] = target
+            self.node_stats.retargets += 1
+            if self.injection_log is not None:
+                self.injection_log.record(
+                    sim.now,
+                    FaultEventKind.RETARGET,
+                    channel="migrant",
+                    detail=f"{dst}->{target}",
+                )
+            return 0.0
+        wait = self.config.retry.timeout_for(attempt, 0.0)
+        if plan.down(dst, sim.now):
+            wait += plan.restart_time(dst, sim.now) - sim.now
+        tracer = self.obs.tracer if self.obs is not None else None
+        if tracer is not None:
+            tracer.complete(MIGRANT_TRACK, "freeze", sim.now, wait, "freeze", aborted=True)
+        yield Timeout(wait)
+        return wait
+
+    def _record_kill(self, detail: str) -> None:
+        self.node_stats.kills += 1
+        if self.injection_log is not None:
+            self.injection_log.record(
+                self.sim.now, FaultEventKind.KILL, channel="migrant", detail=detail
+            )
+
+    def _killed_before_migration(self, migrant: MigrantSpec, home: str) -> ExecutionResult:
+        """The home node crashed while the process still lived on it: the
+        process dies without ever migrating.  Nothing to tear down — no
+        outcome, no ledgers — just a zeroed result flagged killed."""
+        from ..metrics.counters import Counters
+        from ..metrics.timeline import TimeBudget
+
+        self._record_kill(f"home {home} crashed before migration")
+        return ExecutionResult(
+            strategy=migrant.strategy,
+            workload=migrant.workload.name,
+            memory_bytes=migrant.workload.memory_bytes,
+            freeze_time=0.0,
+            run_time=0.0,
+            budget=TimeBudget(),
+            counters=Counters(),
+            extra={"killed": 1.0},
+        )
+
+    def _teardown_killed(
+        self,
+        migrant: MigrantSpec,
+        outcome: MigrationOutcome,
+        executor: MigrantExecutor,
+        checker,
+        observers,
+        infod,
+        lost: ProcessLostError,
+        run_time_base: float,
+        leg_start: float,
+        single: bool,
+    ) -> ExecutionResult:
+        """Clean teardown after a whole-node crash killed the migrant.
+
+        The ledgers are settled so every invariant still balances: pages
+        lost on the wire are written off back to REMOTE, and every
+        surviving deputy forfeits the pages it held for the dead process
+        (the origin reclaims that memory).  The final audit runs on the
+        settled state — a kill is a *modelled* outcome, not a checker
+        violation."""
+        sim = self.sim
+        self._record_kill(str(lost).splitlines()[0])
+        written_off = outcome.residency.write_off_lost()
+        if written_off:
+            executor.counters.prefetch_writeoffs += len(written_off)
+            for vpn in written_off:
+                executor.discard_fetch(vpn)
+        service = outcome.page_service
+        deputies = getattr(service, "deputies", None)
+        if deputies is None:
+            deputy = getattr(service, "deputy", None)
+            deputies = [deputy] if deputy is not None else []
+        for deputy in deputies:
+            deputy.hpt.forfeit_all()
+        executor._collect_fault_stats()
+        run_time = run_time_base + (sim.now - leg_start)
+        result = ExecutionResult(
+            strategy=outcome.strategy,
+            workload=migrant.workload.name,
+            memory_bytes=migrant.workload.memory_bytes,
+            freeze_time=executor.budget.freeze,
+            run_time=run_time,
+            budget=executor.budget,
+            counters=executor.counters,
+            wasted_pages=(
+                len(executor._fetched - executor._touched)
+                if executor.track_touched
+                else 0
+            ),
+            extra=dict(outcome.extra),
+        )
+        result.extra["killed"] = 1.0
+        if checker is not None:
+            pending = getattr(executor, "_pending_fault", None)
+            if pending is not None:
+                checker.note_interrupted_fault(pending)
+            checker.final_audit()
+            sim.remove_observer(checker.on_sim_event)
+        for callback in observers:
+            sim.remove_observer(callback)
+        if single and infod is not None:
+            for key, daemon in list(self._infods.items()):
+                if daemon is infod:
+                    self._infods.pop(key)
+                    daemon.stop()
+        return result
+
+    # ------------------------------------------------------------------
     def _make_checker(self, index: int, outcome: MigrationOutcome, executor: MigrantExecutor):
         """Attach the repro.check invariant checker + oracle (observers)."""
         from ..check import DifferentialOracle, InvariantChecker
 
         checker = InvariantChecker(
-            self.config.checks, self.sim, outcome, executor.counters
+            self.config.checks, self.sim, outcome, executor.counters,
+            node_plan=self.node_plan,
         )
         executor.checker = checker
         self.checkers[index] = checker

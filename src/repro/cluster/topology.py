@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
-from ..config import FaultSpec, NetworkSpec, SimulationConfig
-from ..errors import MigrationError
+from ..config import FaultSpec, NetworkSpec, NodeFaultSpec, SimulationConfig
+from ..errors import ConfigurationError, MigrationError
 from ..units import ms
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -236,6 +236,32 @@ class ScenarioSpec:
                         "fault injection requires a deputy-backed scheme; the FFA "
                         "file-server protocol has no retransmission path"
                     )
+        if cfg.node_faults.active:
+            # Fail at spec construction rather than deep inside the runtime:
+            # crash windows and eligibility lists must name graph nodes, and
+            # the file server is assumed reliable (FFA's whole premise).
+            for node, start, end in cfg.node_faults.crash_windows:
+                if node not in names:
+                    raise ConfigurationError(
+                        f"node_faults crash window [{start}, {end}) names "
+                        f"unknown node {node!r} (graph has {self.graph.nodes})"
+                    )
+                if node == FILE_SERVER:
+                    raise ConfigurationError(
+                        f"node_faults crash window [{start}, {end}) targets "
+                        f"{FILE_SERVER!r}; the file server is assumed reliable"
+                    )
+            for node in cfg.node_faults.nodes:
+                if node not in names:
+                    raise ConfigurationError(
+                        f"node_faults.nodes entry {node!r} is not in the "
+                        f"graph ({self.graph.nodes})"
+                    )
+                if node == FILE_SERVER:
+                    raise ConfigurationError(
+                        f"node_faults.nodes may not include {FILE_SERVER!r}; "
+                        "the file server is assumed reliable"
+                    )
 
     def resolved_config(self) -> SimulationConfig:
         return self.config if self.config is not None else SimulationConfig()
@@ -424,6 +450,8 @@ def scenario_from_dict(d: Mapping) -> ScenarioSpec:
                     "shaped_bandwidth_bps": 6e6, "shaped_latency_s": 2e-3}],
          "seed": 0,
          "faults": {"loss_rate": 0.03},
+         "node_faults": {"crash_windows": [["n1", 0.5, 0.9]],
+                         "suspect_staleness_s": 3.0},
          "migrants": [{"kernel": "dgemm", "memory_mb": 115, "scale": 0.0625,
                        "scheme": "AMPoM", "path": ["home", "n1", "n2"],
                        "start_s": 0.0, "hop_delays": [0.25]}]}
@@ -444,9 +472,22 @@ def scenario_from_dict(d: Mapping) -> ScenarioSpec:
         )
         for ld in d.get("links", ())
     )
+    node_faults = dict(d.get("node_faults", {}))
+    if "crash_windows" in node_faults:
+        node_faults["crash_windows"] = tuple(
+            (str(w[0]), float(w[1]), float(w[2]))
+            for w in node_faults["crash_windows"]
+        )
+    if "nodes" in node_faults:
+        node_faults["nodes"] = tuple(node_faults["nodes"])
+    try:
+        node_fault_spec = NodeFaultSpec(**node_faults)
+    except TypeError as exc:
+        raise MigrationError(f"bad node_faults section: {exc}")
     config = SimulationConfig(
         seed=int(d.get("seed", 0)),
         faults=FaultSpec(**d.get("faults", {})),
+        node_faults=node_fault_spec,
     )
     migrants = tuple(
         MigrantSpec(

@@ -227,6 +227,89 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class NodeFaultSpec:
+    """Whole-node crash/restart schedule (the node-failure lifecycle).
+
+    Unlike :class:`FaultSpec.deputy_crash_windows` — a survivable deputy
+    *pause* whose state outlives the restart — a node crash is fatal to
+    everything the node hosted: its deputy processes are gone for good
+    (openMosix keeps no deputy state on disk), its infod stops answering
+    probes, it stops gossiping, and messages addressed to it vanish.  The
+    restart end of a window only brings the *node* back (fresh, empty),
+    which is why a home-node crash kills the migrant and a transit-deputy
+    crash needs chain repair even after the node returns.
+
+    Crashes come from two sources, merged per node:
+
+    * ``crash_windows`` — explicit ``(node, start, end)`` triples in
+      absolute simulated seconds;
+    * a seeded schedule — when ``crash_rate_hz > 0``, each eligible node
+      draws crash arrivals (exponential inter-arrival, mean
+      ``1/crash_rate_hz``) with exponential downtimes of mean
+      ``mean_downtime_s``, over ``[0, horizon_s)``.  Same seed, same
+      schedule (see :class:`repro.faults.plan.NodeFaultPlan`).
+
+    Topology-level validation (unknown nodes, the file server, window
+    overlap) happens when a :class:`repro.faults.plan.NodeFaultPlan` is
+    built against a concrete node set.
+    """
+
+    #: Explicit crash windows: ``(node, start_s, end_s)`` triples.
+    crash_windows: tuple[tuple[str, float, float], ...] = ()
+    #: Seeded crash arrival rate per eligible node (0 = explicit only).
+    crash_rate_hz: float = 0.0
+    #: Mean downtime of a seeded crash window (exponential).
+    mean_downtime_s: float = 0.0
+    #: Seeded crashes are drawn over ``[0, horizon_s)``.
+    horizon_s: float = 0.0
+    #: Nodes eligible for seeded crashes (empty = every non-file-server
+    #: node of the topology the plan is built against).
+    nodes: tuple[str, ...] = ()
+    #: Gossip-view age beyond which a peer marks a node suspected.
+    suspect_staleness_s: float = 3.0
+    #: Consecutive unanswered infod probes before the home is suspected.
+    probe_suspect_after: int = 2
+
+    def __post_init__(self) -> None:
+        windows = tuple((str(n), float(a), float(b)) for n, a, b in self.crash_windows)
+        object.__setattr__(self, "crash_windows", windows)
+        for node, start, end in windows:
+            if not node:
+                raise ConfigurationError("crash_windows node name must be non-empty")
+            if not start < end:
+                raise ConfigurationError(
+                    f"crash_windows entries must satisfy start < end: ({node!r}, {start}, {end})"
+                )
+            if start < 0:
+                raise ConfigurationError(
+                    f"crash_windows start must be non-negative: ({node!r}, {start}, {end})"
+                )
+        object.__setattr__(self, "nodes", tuple(str(n) for n in self.nodes))
+        if self.crash_rate_hz < 0:
+            raise ConfigurationError(f"crash_rate_hz must be non-negative: {self.crash_rate_hz}")
+        if self.mean_downtime_s < 0:
+            raise ConfigurationError(
+                f"mean_downtime_s must be non-negative: {self.mean_downtime_s}"
+            )
+        if self.horizon_s < 0:
+            raise ConfigurationError(f"horizon_s must be non-negative: {self.horizon_s}")
+        if self.crash_rate_hz > 0.0 and (self.mean_downtime_s <= 0.0 or self.horizon_s <= 0.0):
+            raise ConfigurationError(
+                "seeded node crashes need crash_rate_hz, mean_downtime_s and "
+                "horizon_s all positive"
+            )
+        if self.suspect_staleness_s <= 0:
+            raise ConfigurationError("suspect_staleness_s must be positive")
+        if self.probe_suspect_after < 1:
+            raise ConfigurationError("probe_suspect_after must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """True if this spec can ever crash a node."""
+        return bool(self.crash_windows) or self.crash_rate_hz > 0.0
+
+
+@dataclass(frozen=True)
 class RetrySpec:
     """Timeout/retransmission policy of the reliable paging protocol.
 
@@ -318,6 +401,7 @@ class SimulationConfig:
     ampom: AMPoMConfig = field(default_factory=AMPoMConfig)
     infod: InfoDConfig = field(default_factory=InfoDConfig)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    node_faults: NodeFaultSpec = field(default_factory=NodeFaultSpec)
     retry: RetrySpec = field(default_factory=RetrySpec)
     checks: CheckSpec = field(default_factory=CheckSpec.from_env)
     seed: int = 0

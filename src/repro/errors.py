@@ -30,6 +30,13 @@ class ConfigurationError(ReproError):
     """Raised for inconsistent user-supplied configuration."""
 
 
+class ProcessLostError(MigrationError):
+    """Raised when a whole-node crash kills a migrated process: the node
+    under the migrant died, or the home node crashed and took the deputy
+    (openMosix's home dependency) with it.  The scenario runtime catches
+    this and tears the process's ledgers down instead of failing the run."""
+
+
 class FaultInjectionError(ReproError):
     """Raised for invalid use of the fault-injection subsystem (e.g.
     wrapping a link that already carried traffic, or injecting faults

@@ -89,6 +89,20 @@ def _run_three_hop(obs=None) -> ExecutionResult:
     return ScenarioRuntime(spec, obs=obs).execute()[0]
 
 
+def _run_node_churn(obs=None):
+    """One seeded chaos cell: the three-hop preset under a random
+    whole-node crash schedule with the invariant checker forced on —
+    the node-failure machinery (abort, repair, kill, detection) end to
+    end (see docs/FAULTS.md)."""
+    from ..cluster.chaos import chaos_cell
+
+    # Seed 2 draws a schedule the migrant survives (one crash, full
+    # recovery), so the case times the whole run, not an early kill.
+    run, violation = chaos_cell("three-hop", "AMPoM", seed=2)
+    assert violation is None, f"chaos cell violated an invariant: {violation}"
+    return run
+
+
 def _run_ampom_traced(obs=None) -> ExecutionResult:
     """``ampom_pipeline`` with the full obs bundle armed.
 
@@ -109,6 +123,7 @@ CASES: dict[str, Callable[[], ExecutionResult]] = {
     "ampom_pipeline": _run_ampom_pipeline,
     "random_faults": _run_random_faults,
     "three_hop": _run_three_hop,
+    "node_churn": _run_node_churn,
     "ampom_traced": _run_ampom_traced,
 }
 

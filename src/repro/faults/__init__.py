@@ -4,6 +4,9 @@ The subsystem has three parts:
 
 * :class:`FaultPlan` — the seeded schedule of drops, duplicates, delays,
   link flaps, and deputy crash windows (same seed => same schedule);
+* :class:`NodeFaultPlan` — seeded *whole-node* crash/restart windows per
+  topology node; a crashed node takes its deputies, infod, and gossip
+  participation down with it (see docs/FAULTS.md's node-failure model);
 * :class:`LossyDirection` / :func:`install_lossy_link` — a link wrapper
   that consults the plan on every message;
 * :class:`FaultInjectionLog` — a columnar record of every injected fault
@@ -14,9 +17,9 @@ Configured through :class:`repro.config.FaultSpec` (what goes wrong) and
 ``docs/FAULTS.md`` for the protocol state machine.
 """
 
-from .log import FaultEventKind, FaultInjectionEvent, FaultInjectionLog
+from .log import FaultEventKind, FaultInjectionEvent, FaultInjectionLog, NodeFaultStats
 from .lossy import LossyDirection, install_lossy_link
-from .plan import CLEAN, FaultDecision, FaultPlan
+from .plan import CLEAN, FaultDecision, FaultPlan, NodeFaultPlan, validate_windows
 
 __all__ = [
     "CLEAN",
@@ -26,5 +29,8 @@ __all__ = [
     "FaultInjectionLog",
     "FaultPlan",
     "LossyDirection",
+    "NodeFaultPlan",
+    "NodeFaultStats",
     "install_lossy_link",
+    "validate_windows",
 ]

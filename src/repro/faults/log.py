@@ -38,6 +38,22 @@ class FaultEventKind(enum.Enum):
     RECOVER = "recover"
     #: The deputy re-sent pages it had already released (replay cache).
     REPLAY = "replay"
+    #: A whole node crashed (scheduled by a NodeFaultPlan window start).
+    NODE_CRASH = "node_crash"
+    #: A crashed node came back up (window end; its processes did not).
+    NODE_RESTART = "node_restart"
+    #: A peer marked a node suspected (gossip staleness or probe misses).
+    SUSPECT = "suspect"
+    #: A previously suspected node was heard from again.
+    UNSUSPECT = "unsuspect"
+    #: A migration was aborted because its destination crashed mid-freeze.
+    MIGRATION_ABORT = "migration_abort"
+    #: An aborted migration was re-targeted at a surviving node.
+    RETARGET = "retarget"
+    #: A dead transit deputy's pages were re-homed onto the home deputy.
+    CHAIN_REPAIR = "chain_repair"
+    #: A node crash killed the migrated process (openMosix semantics).
+    KILL = "kill"
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,4 +115,53 @@ class FaultInjectionLog:
         out: dict[str, int] = {}
         for k in self._kinds:
             out[k.value] = out.get(k.value, 0) + 1
+        return out
+
+
+class NodeFaultStats:
+    """Monotone reliability counters of one node-fault run.
+
+    Every counter only ever increases (the Hypothesis property suite
+    asserts this), so dashboards and the chaos harness can difference
+    snapshots safely.  Detection latency is accumulated alongside its
+    event count; ``mean_detection_latency_s`` divides them at read time.
+    """
+
+    __slots__ = (
+        "crashes",
+        "restarts",
+        "suspicions",
+        "unsuspicions",
+        "false_suspicions",
+        "detections",
+        "detection_latency_total_s",
+        "migration_aborts",
+        "retargets",
+        "chain_repairs",
+        "pages_rehomed",
+        "kills",
+        "abort_freeze_s",
+        "pages_abort_written_off",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0.0 if name.endswith("_s") else 0)
+
+    # -- recording ------------------------------------------------------
+    def record_detection(self, latency_s: float) -> None:
+        """One true failure detection, ``latency_s`` after the crash."""
+        if latency_s < 0:
+            raise ValueError(f"detection latency must be non-negative: {latency_s}")
+        self.detections += 1
+        self.detection_latency_total_s += latency_s
+
+    # -- reading --------------------------------------------------------
+    @property
+    def mean_detection_latency_s(self) -> float:
+        return self.detection_latency_total_s / self.detections if self.detections else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        out = {name: getattr(self, name) for name in self.__slots__}
+        out["mean_detection_latency_s"] = self.mean_detection_latency_s
         return out

@@ -38,12 +38,15 @@ class HomePageTable:
     def __init__(self, pages: Iterable[int] = ()) -> None:
         self._pages: set[int] = set(pages)
         #: Pages stored at migration time (audit baseline for repro.check:
-        #: ``len(self) == initial_pages - released_total + stored_total``).
+        #: ``len(self) == initial_pages - released_total + stored_total
+        #: - forfeited_total``).
         self.initial_pages = len(self._pages)
         #: Cumulative releases (pages shipped to the migrant).
         self.released_total = 0
         #: Cumulative stores (pages written back by eviction).
         self.stored_total = 0
+        #: Cumulative forfeits (pages lost to a whole-node crash).
+        self.forfeited_total = 0
 
     def __contains__(self, vpn: int) -> bool:
         return vpn in self._pages
@@ -74,6 +77,30 @@ class HomePageTable:
     def drop(self, vpn: int) -> None:
         """Remove an unmapped page that was still stored at the origin."""
         self.release(vpn)
+
+    def forfeit(self, vpn: int) -> None:
+        """Write off a stored page lost to a whole-node crash.
+
+        Unlike :meth:`release`, the page was never shipped anywhere — the
+        node holding this table died and its copy is gone.  Counted
+        separately so the ledger audit still balances.
+        """
+        try:
+            self._pages.remove(vpn)
+        except KeyError:
+            raise MemoryStateError(f"page {vpn} is not stored at the origin")
+        self.forfeited_total += 1
+
+    def forfeit_all(self) -> list[int]:
+        """Forfeit every stored page (whole-node crash teardown).
+
+        Returns the forfeited page numbers, sorted, so the caller can
+        re-home them (chain repair) or record the loss.
+        """
+        lost = sorted(self._pages)
+        for vpn in lost:
+            self.forfeit(vpn)
+        return lost
 
 
 class MasterPageTable:

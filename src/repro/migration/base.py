@@ -109,12 +109,17 @@ class DeputyPageService:
 class _Route:
     """One deputy a :class:`RoutedPageService` can page from."""
 
-    __slots__ = ("node", "request_channel", "deputy")
+    __slots__ = ("node", "request_channel", "deputy", "born")
 
-    def __init__(self, node: str, request_channel: Direction, deputy: Deputy) -> None:
+    def __init__(
+        self, node: str, request_channel: Direction, deputy: Deputy, born: float = 0.0
+    ) -> None:
         self.node = node
         self.request_channel = request_channel
         self.deputy = deputy
+        #: Simulated time the deputy was created.  Under a NodeFaultPlan a
+        #: deputy is permanently dead once its node crashed after ``born``.
+        self.born = born
 
 
 class RoutedPageService:
@@ -146,6 +151,9 @@ class RoutedPageService:
             home_service.request_channel,
             home_service.deputy.reply_channel,
         }
+        #: Transit deputies removed by :meth:`repair_route` (their ledgers
+        #: are still audited at end of run: empty HPT, forfeits counted).
+        self.dead_deputies: list[Deputy] = []
 
     # -- introspection used by the executor/checker/runner --------------
     @property
@@ -169,12 +177,53 @@ class RoutedPageService:
         return seq
 
     # -- topology updates ------------------------------------------------
-    def add_route(self, node: str, deputy: Deputy) -> None:
+    def add_route(self, node: str, deputy: Deputy, born: float = 0.0) -> None:
         """Chain a transit deputy left behind on ``node``."""
         request = self.network.direction(self.dst, node)
-        self._routes.append(_Route(node, request, deputy))
+        self._routes.append(_Route(node, request, deputy, born=born))
         self.wire_channels.add(request)
         self.wire_channels.add(deputy.reply_channel)
+
+    def transit_routes(self) -> list[tuple[str, float]]:
+        """``(node, born)`` of every live transit deputy, chain order.
+
+        The scenario runtime scans this against its
+        :class:`repro.faults.NodeFaultPlan` to find routes whose host
+        crashed since the deputy was created.
+        """
+        return [(route.node, route.born) for route in self._routes[1:]]
+
+    def repair_route(self, node: str, now: float) -> list[int]:
+        """Chain repair: the transit deputy on ``node`` died with its host.
+
+        Its unserved pages are forfeited from the dead HPT and re-created
+        on the *home* deputy's HPT — the home node always still has the
+        data (openMosix's home dependency), so surviving deputies can
+        re-source what the dead one held.  The home deputy's clock is
+        charged for the re-sourcing work, the dead route is dropped (later
+        retransmissions re-route to home via ``_owner``), and the re-homed
+        pages are returned for logging.
+        """
+        if node == self.home:
+            raise MigrationError(
+                "the home route cannot be repaired; a home-node crash kills "
+                "the process (openMosix home dependency)"
+            )
+        for i, route in enumerate(self._routes):
+            if i > 0 and route.node == node:
+                break
+        else:
+            raise MigrationError(f"no transit route through {node!r} to repair")
+        dead = self._routes.pop(i)
+        lost = dead.deputy.hpt.forfeit_all()
+        home = self._routes[0]
+        for vpn in lost:
+            home.deputy.hpt.store(vpn)
+        hw = home.deputy.hardware
+        cost = hw.deputy_request_time + len(lost) * hw.deputy_page_time
+        home.deputy.busy_until = max(home.deputy.busy_until, now) + cost
+        self.dead_deputies.append(dead.deputy)
+        return lost
 
     def move_to(self, dst: str) -> None:
         """Rebind every route for a migrant now living on ``dst``."""
@@ -364,7 +413,7 @@ class MigrationStrategy(abc.ABC):
             ctx.hardware,
             fault_plan=ctx.fault_plan,
         )
-        routed.add_route(ctx.src, deputy)
+        routed.add_route(ctx.src, deputy, born=ctx.sim.now)
 
     @staticmethod
     def _state_transfer(ctx: MigrationContext) -> float:

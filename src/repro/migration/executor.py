@@ -171,6 +171,22 @@ class MigrantExecutor:
         self._degraded = False
         self._await_stall = 0.0
 
+        #: Optional whole-node hazard check ``f(now) -> None`` wired by the
+        #: scenario runtime under a NodeFaultPlan.  Called between trace
+        #: events; raises :class:`repro.errors.ProcessLostError` if a crash
+        #: killed this process (its own node died mid-run, or its home node
+        #: crashed — openMosix's home dependency).
+        self.hazard = None
+        #: Optional callback fired when the retry protocol concludes a
+        #: remote server is dead (two consecutive demand timeouts).  The
+        #: scenario runtime uses it to kill home-dependent processes and to
+        #: chain-repair routes through dead transit deputies.
+        self.on_crash_detect = None
+        #: FaultKind of the fault currently being resolved, if a yield
+        #: inside :meth:`_fault` is pending — lets the kill teardown tell
+        #: the checker about a counted-but-unresolved fault.
+        self._pending_fault = None
+
         #: Simulated time at which this leg yields the CPU for the next
         #: re-migration hop (``None`` = run the trace to completion).
         self.preempt_at = preempt_at
@@ -350,6 +366,10 @@ class MigrantExecutor:
                                 tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
                             cpu.charge(acc)
                             self._compute_since_fault += acc
+                # Whole-node crash check, same granularity as preemption:
+                # a kill lands at the next trace-event boundary.
+                if self.hazard is not None:
+                    self.hazard(sim.now)
                 # Re-migration point: the runtime asked this leg to stop once
                 # the simulated clock passes preempt_at.  Checked between
                 # trace events only — a hop never tears a chunk apart.
@@ -478,7 +498,10 @@ class MigrantExecutor:
         elif res.buffered_set:
             yield from self._copy_buffered(res)
 
-        # Classify the fault.
+        # Classify the fault.  The counter is bumped at onset but the
+        # checker only hears about the fault once it resolves; a node
+        # crash can kill the process in between, so the in-progress kind
+        # is published for the teardown path to reconcile.
         counters = self.counters
         if vpn in res.mapped:
             kind = FaultKind.MINOR_BUFFERED
@@ -492,6 +515,7 @@ class MigrantExecutor:
         else:
             kind = FaultKind.MINOR_CREATE
             counters.create_faults += 1
+        self._pending_fault = kind
 
         # Steps 2-4: record, analyse, decide the prefetch set.  A policy
         # that never reads the link snapshot (demand paging, fixed
@@ -601,6 +625,7 @@ class MigrantExecutor:
                 res.absorb_arrivals(sim.now)
                 if res.buffered_set:
                     yield from self._copy_buffered(res)
+        self._pending_fault = None
         if self.fault_log is not None:
             self.fault_log.record(now, vpn, kind, len(prefetch), stall)
         if self.checker is not None:
@@ -712,6 +737,11 @@ class MigrantExecutor:
                 )
             if attempt >= 2 and not self._degraded:
                 self._enter_degraded(vpn)
+            if attempt >= 2 and self.on_crash_detect is not None:
+                # May raise ProcessLostError (home crashed) or repair the
+                # route chain so the retransmission below reaches a
+                # surviving deputy.
+                self.on_crash_detect()
             if seq is None:
                 seq = service.next_seq()
             self.counters.retransmits += 1
@@ -817,6 +847,8 @@ class MigrantExecutor:
                     f"forwarded syscall reply never arrived after {attempt} attempts: "
                     "the link is too lossy or the deputy outage outlasts the retry budget"
                 )
+            if attempt >= 2 and self.on_crash_detect is not None:
+                self.on_crash_detect()
             self.counters.retransmits += 1
             self._log_event(
                 FaultEventKind.RETRANSMIT, detail=f"syscall seq={seq} attempt={attempt}"

@@ -78,6 +78,17 @@ class Deputy:
         #: runner on traced runs).  Pure observer — serve spans and queue
         #: metrics only; None on default runs.
         self.obs = None
+        #: Optional whole-node outage predicate ``f(t) -> bool`` wired by
+        #: the scenario runtime when a :class:`repro.faults.NodeFaultPlan`
+        #: is active.  Unlike a deputy crash window (the deputy pauses and
+        #: its state survives), a node outage means the host is dark: the
+        #: deputy ignores everything that arrives while it holds, and —
+        #: because the closure also captures the deputy's birth time — it
+        #: stays dead after a crash even once the node restarts.
+        self.node_outage = None
+        #: Fallback :class:`repro.faults.FaultInjectionLog` for node-outage
+        #: ignores when no FaultPlan (and hence no plan-attached log) exists.
+        self.node_log = None
 
     # ------------------------------------------------------------------
     def _trace_serve(
@@ -96,16 +107,21 @@ class Deputy:
 
     # ------------------------------------------------------------------
     def _down_at(self, t: float) -> bool:
-        return self.fault_plan is not None and self.fault_plan.deputy_down(t)
+        if self.fault_plan is not None and self.fault_plan.deputy_down(t):
+            return True
+        return self.node_outage is not None and self.node_outage(t)
 
     def _log_ignored(self, t: float, detail: str) -> None:
         self.requests_ignored += 1
+        log = None
         if self.fault_plan is not None and self.fault_plan.log is not None:
+            log = self.fault_plan.log
+        elif self.node_log is not None:
+            log = self.node_log
+        if log is not None:
             from ..faults.log import FaultEventKind
 
-            self.fault_plan.log.record(
-                t, FaultEventKind.CRASH_IGNORE, channel="deputy", detail=detail
-            )
+            log.record(t, FaultEventKind.CRASH_IGNORE, channel="deputy", detail=detail)
 
     def _remember_released(self, vpn: int) -> None:
         if self._replay_capacity <= 0:
@@ -154,7 +170,7 @@ class Deputy:
             vpn = demand[0]
             if math.isinf(request_arrival):
                 return {vpn: math.inf}
-            if self.fault_plan is not None and self.fault_plan.deputy_down(request_arrival):
+            if self._down_at(request_arrival):
                 self._log_ignored(request_arrival, "pages=1")
                 return {vpn: math.inf}
             if seq is not None and self._remember_seq(self._seen_seqs, seq):
@@ -271,13 +287,18 @@ class Deputy:
                 f"pages_served={self.pages_served} but the HPT recorded "
                 f"{self.hpt.released_total} releases",
             )
-        expected = self.hpt.initial_pages - self.hpt.released_total + self.hpt.stored_total
+        expected = (
+            self.hpt.initial_pages
+            - self.hpt.released_total
+            + self.hpt.stored_total
+            - self.hpt.forfeited_total
+        )
         if len(self.hpt) != expected:
             raise InvariantViolation(
                 "hpt-conservation",
                 f"HPT holds {len(self.hpt)} pages but initial({self.hpt.initial_pages}) "
                 f"- released({self.hpt.released_total}) + stored({self.hpt.stored_total}) "
-                f"= {expected}",
+                f"- forfeited({self.hpt.forfeited_total}) = {expected}",
             )
         if self._replay_capacity >= 0 and len(self._replay_pages) > self._replay_capacity:
             raise InvariantViolation(

@@ -20,6 +20,8 @@ Paper sections 2.4 and 4.  The daemon supplies the AMPoM algorithm with:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..config import InfoDConfig
 from ..core.policy import LinkConditions
 from ..net.link import Direction
@@ -27,9 +29,22 @@ from ..net.monitor import BandwidthEstimator, RttEstimator
 from ..sim import Simulator, Timeout
 from .node import Node
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.log import NodeFaultStats
+    from ..faults.plan import NodeFaultPlan
+
 
 class InfoDaemon:
-    """Per-node monitoring daemon for a migrated process's destination."""
+    """Per-node monitoring daemon for a migrated process's destination.
+
+    Under a :class:`repro.faults.NodeFaultPlan` the daemon doubles as the
+    migrant-side failure detector for its home node: a probe sent while the
+    home is dark goes unanswered (``probes_missed``), and once
+    ``suspect_after`` consecutive probes miss, the home is marked
+    ``suspected`` and the detection latency (now minus the crash instant)
+    is recorded on the shared :class:`repro.faults.NodeFaultStats`.  A
+    successful probe clears the suspicion.
+    """
 
     def __init__(
         self,
@@ -39,12 +54,24 @@ class InfoDaemon:
         from_home: Direction,
         config: InfoDConfig,
         min_bandwidth_fraction: float = 0.05,
+        node_plan: "NodeFaultPlan | None" = None,
+        home: str | None = None,
+        suspect_after: int = 2,
+        stats: "NodeFaultStats | None" = None,
     ) -> None:
         self.sim = sim
         self.node = node
         self.to_home = to_home
         self.from_home = from_home
         self.config = config
+        self.node_plan = node_plan
+        self.home = home
+        self.suspect_after = suspect_after
+        self.stats = stats
+        self.probes_missed = 0
+        self.suspected = False
+        self._consecutive_misses = 0
+        self._suspicions_recorded = 0
         self.rtt = RttEstimator(
             smoothing=config.smoothing,
             initial=self._instant_rtt(),
@@ -82,9 +109,41 @@ class InfoDaemon:
     # ------------------------------------------------------------------
     def probe(self) -> None:
         """Measure RTT and re-sample the bandwidth counters now."""
+        now = self.sim.now
+        if (
+            self.node_plan is not None
+            and self.home is not None
+            and self.node_plan.down(self.home, now)
+        ):
+            # The ack never comes back: count the miss, escalate to a
+            # suspicion after enough consecutive misses, but keep the last
+            # good RTT/bandwidth estimates (stale data beats no data).
+            self.probes_missed += 1
+            self._consecutive_misses += 1
+            self.probes_sent += 1
+            if not self.suspected and self._consecutive_misses >= self.suspect_after:
+                self.suspected = True
+                self._suspicions_recorded += 1
+                if self.stats is not None:
+                    self.stats.suspicions += 1
+                    self.stats.record_detection(now - self._crash_start(now))
+            return
+        if self.suspected:
+            self.suspected = False
+            if self.stats is not None:
+                self.stats.unsuspicions += 1
+        self._consecutive_misses = 0
         self.rtt.observe(self._instant_rtt())
-        self.bandwidth.observe(self.sim.now)
+        self.bandwidth.observe(now)
         self.probes_sent += 1
+
+    def _crash_start(self, t: float) -> float:
+        """Start of the home's crash window containing ``t``."""
+        assert self.node_plan is not None and self.home is not None
+        for start, end in self.node_plan.windows_for(self.home):
+            if start <= t < end:
+                return start
+        raise AssertionError(f"home {self.home!r} is not down at t={t}")
 
     def on_window_wrap(self) -> None:
         """Bandwidth re-sample triggered by a lookback-window wrap

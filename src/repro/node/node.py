@@ -22,6 +22,10 @@ class Node:
         self.hardware = hardware
         self.cpu = CpuModel(hardware.cpu_hz)
         self.processes: list[object] = []
+        #: Whole-node failure counters (bumped by the scenario runtime when
+        #: a :class:`repro.faults.NodeFaultPlan` window starts/ends here).
+        self.crashes = 0
+        self.restarts = 0
 
     @property
     def capacity_pages(self) -> int:

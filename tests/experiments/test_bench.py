@@ -35,6 +35,7 @@ class TestHarness:
             "ampom_pipeline",
             "random_faults",
             "three_hop",
+            "node_churn",
             "ampom_traced",
         }
 

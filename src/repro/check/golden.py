@@ -46,6 +46,11 @@ class GoldenScenario:
     #: Multi-hop migration path (empty = the classic home->dest run).
     path: tuple[str, ...] = ()
     hop_delays: tuple[float, ...] = ()
+    #: Sustained-load cluster preset (empty = a fixed-migrant scenario).
+    #: When set, ``kernel``/``memory_mb`` are ignored and the run is a
+    #: seeded arrival stream under the named decentralized policy.
+    preset: str = ""
+    policy: str = ""
 
     def header(self) -> dict:
         header = {
@@ -66,6 +71,10 @@ class GoldenScenario:
             # two-node golden files stay byte-identical.
             header["path"] = list(self.path)
             header["hop_delays"] = list(self.hop_delays)
+        if self.preset:
+            # Likewise: only sustained-load scenarios carry these keys.
+            header["preset"] = self.preset
+            header["policy"] = self.policy
         return header
 
 
@@ -115,6 +124,18 @@ SCENARIOS: tuple[GoldenScenario, ...] = (
         faults=FaultSpec(loss_rate=0.05, duplicate_rate=0.02, delay_rate=0.1, delay_s=0.005),
         path=("home", "n1", "n2"), hop_delays=(0.25,),
     ),
+    # Mid-scale sustained load: the 32-node arrival stream under each
+    # decentralized migration policy.  These pin the whole fleet path —
+    # arrival draws, gossip dissemination, policy decisions, and every
+    # executed migration — in one trace per policy.
+    GoldenScenario(
+        "cluster_32_threshold", "arrival-stream", 0, "AMPoM",
+        seed=11, preset="cluster_32", policy="threshold",
+    ),
+    GoldenScenario(
+        "cluster_32_balanced", "arrival-stream", 0, "AMPoM",
+        seed=11, preset="cluster_32", policy="balanced",
+    ),
 )
 
 
@@ -142,6 +163,9 @@ def run_scenario(scenario: GoldenScenario, obs=None) -> list[str]:
     """
     from ..cluster.runner import MigrationRun
     from ..workloads.hpcc import hpcc_workload
+
+    if scenario.preset:
+        return _run_sustained_scenario(scenario, obs=obs)
 
     fault_log = FaultLog()
     workload = hpcc_workload(scenario.kernel, scenario.memory_mb, scale=scenario.scale)
@@ -211,6 +235,45 @@ def run_scenario(scenario: GoldenScenario, obs=None) -> list[str]:
                 "wasted_pages": result.wasted_pages,
                 "budget": result.budget.as_dict(),
                 "counters": result.counters.as_dict(),
+            },
+            sort_keys=True,
+        )
+    )
+    return lines
+
+
+def _run_sustained_scenario(scenario: GoldenScenario, obs=None) -> list[str]:
+    """Serialize one sustained-load preset run: header line, one line per
+    migration decision, one footer with the fleet-level counters and the
+    full utilization series."""
+    import dataclasses
+
+    from ..cluster.sustained import SustainedLoadDriver
+    from ..cluster.topology import build_preset
+
+    spec = build_preset(
+        scenario.preset, scheme=scenario.scheme, scale=scenario.scale, seed=scenario.seed
+    )
+    sustained = dataclasses.replace(spec.sustained, policy=scenario.policy)
+    driver = SustainedLoadDriver(spec.graph, sustained, config=_scenario_config(scenario))
+    result = driver.execute(obs=obs)
+    report = result.report
+
+    lines = [json.dumps(scenario.header(), sort_keys=True)]
+    for decision in report.decisions:
+        lines.append(json.dumps(decision, sort_keys=True))
+    lines.append(
+        json.dumps(
+            {
+                "arrivals": report.arrivals,
+                "completed": report.completed,
+                "makespan_s": report.makespan,
+                "migrations": report.migrations,
+                "total_frozen_time_s": report.total_frozen_time,
+                "utilization": [
+                    [s.time, s.busy_nodes, s.mean_load, s.migrations]
+                    for s in report.utilization
+                ],
             },
             sort_keys=True,
         )

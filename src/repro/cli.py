@@ -201,8 +201,43 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument(
         "--seed", type=int, default=None, help="seed for --preset runs (default 0)"
     )
+    from .cluster.policy import POLICIES as _POLICIES
+
+    crun.add_argument(
+        "--policy",
+        choices=tuple(_POLICIES),
+        default=None,
+        help="migration trigger policy for sustained-load scenarios "
+        "(cluster_32/cluster_300 presets or a spec with a 'sustained' "
+        "section; default from the spec)",
+    )
     crun.add_argument(
         "--json", action="store_true", help="emit per-migrant results as JSON"
+    )
+    cfig = cluster_sub.add_parser(
+        "figure",
+        help="cluster-utilization / migration-count series per policy",
+        description="Run a sustained-load preset under each policy and "
+        "print (or emit as JSON) the utilization and cumulative-migration "
+        "time series — the fleet-scale counterpart of the paper figures.",
+    )
+    cfig.add_argument(
+        "--preset",
+        choices=("cluster_32", "cluster_300"),
+        default="cluster_32",
+        help="sustained-load preset to sweep",
+    )
+    cfig.add_argument(
+        "--policies",
+        nargs="+",
+        choices=tuple(_POLICIES),
+        default=["threshold", "balanced"],
+        help="policies to compare",
+    )
+    cfig.add_argument("--scale", type=float, default=1 / 16)
+    cfig.add_argument("--seed", type=int, default=0)
+    cfig.add_argument(
+        "--json", action="store_true", help="emit the series as JSON"
     )
 
     chaos = sub.add_parser(
@@ -753,6 +788,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .cluster.session import ScenarioRuntime
     from .cluster.topology import build_preset, load_scenario
 
+    if args.cluster_command == "figure":
+        return _cmd_cluster_figure(args)
+
     if args.spec is not None:
         for opt in ("scheme", "scale", "seed"):
             if getattr(args, opt) is not None:
@@ -768,6 +806,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             seed=args.seed if args.seed is not None else 0,
         )
         label = f"preset {args.preset}"
+    if spec.sustained is not None:
+        return _run_sustained_cli(spec, label, args)
+    if args.policy is not None:
+        print("cluster run: --policy applies to sustained-load scenarios only")
+        return 2
     runtime = ScenarioRuntime(spec)
     results = runtime.execute()
     faulty = runtime.injection_log is not None or runtime.node_plan is not None
@@ -833,6 +876,82 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"(mean latency {stats.mean_detection_latency_s:.4f} s) "
             f"false_suspicions={stats.false_suspicions}"
         )
+    return 0
+
+
+def _run_sustained_cli(spec, label: str, args: argparse.Namespace) -> int:
+    """`cluster run` on a sustained-load scenario: arrival stream in,
+    decentralized policy decisions out, executed as real migrations."""
+    import dataclasses
+
+    from .cluster.sustained import SustainedLoadDriver
+
+    sustained = spec.sustained
+    if args.policy is not None:
+        sustained = dataclasses.replace(sustained, policy=args.policy)
+    driver = SustainedLoadDriver(spec.graph, sustained, config=spec.config)
+    res = driver.execute()
+    report = res.report
+    if args.json:
+        import json
+
+        print(json.dumps(res.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{label} [sustained]: {report.nodes} worker nodes, "
+        f"policy {report.policy}, scheme {report.scheme}, seed {report.seed}"
+    )
+    print(
+        f"arrivals {report.arrivals}, completed {report.completed}, "
+        f"makespan {report.makespan:.4f} s"
+    )
+    print(
+        f"decisions {report.migrations} "
+        f"({len(res.drive.migrants)} executed as real migrations), "
+        f"total frozen {report.total_frozen_time:.4f} s"
+    )
+    if report.utilization:
+        peak = max(report.utilization, key=lambda s: (s.busy_nodes, s.time))
+        print(
+            f"utilization: peak {peak.busy_nodes}/{report.nodes} busy nodes "
+            f"at t={peak.time:.1f} s, "
+            f"final cumulative migrations {report.utilization[-1].migrations}"
+        )
+    runtime = driver.runtime
+    if runtime is not None:
+        checkers = [c for c in runtime.checkers if c is not None]
+        if checkers:
+            audits = sum(c.deep_audits for c in checkers)
+            print(f"invariant checker: on ({audits} deep audits, no violations)")
+    return 0
+
+
+def _cmd_cluster_figure(args: argparse.Namespace) -> int:
+    from .experiments.figures import cluster_sustained_figure
+
+    data = cluster_sustained_figure(
+        preset=args.preset,
+        policies=tuple(args.policies),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    for policy, series in data.items():
+        print(
+            f"\n{args.preset} / {policy}: makespan {series['makespan']:.4f} s, "
+            f"{series['migrations_total']} migrations"
+        )
+        rows = [
+            [f"{t:.1f}", f"{busy_frac:.3f}", migs]
+            for (t, busy_frac), (_, migs) in zip(
+                series["utilization"], series["migrations"]
+            )
+        ]
+        print(format_table(["t (s)", "busy fraction", "cumulative migrations"], rows))
     return 0
 
 

@@ -6,15 +6,32 @@ node graph with per-link overrides, any number of migrants, multi-hop
 re-migration paths.  :class:`repro.cluster.runner.MigrationRun` remains
 the everyday two-node entry point: workload + migration strategy +
 configuration in, an :class:`repro.migration.executor.ExecutionResult`
-out.
+out.  Fleet-scale sustained load (arrival streams + decentralized
+policies) lives in :mod:`repro.cluster.sustained`.
 """
 
 from .chaos import ChaosReport, ChaosRun, chaos_cell, run_chaos
 from .cluster import Cluster
 from .gossip import GossipLoadMap
-from .loadgen import BackgroundLoad, LoadWindow
+from .loadgen import (
+    ArrivalSpec,
+    ArrivalStream,
+    BackgroundLoad,
+    LoadWindow,
+    ProcessArrival,
+    peak_procs,
+)
 from .multi import MultiMigrationRun
 from .parallel import parallel_map, resolve_jobs
+from .policy import (
+    BalancedPolicy,
+    ConvergedView,
+    DefragPolicy,
+    MigrationPolicy,
+    POLICIES,
+    ThresholdPolicy,
+    make_policy,
+)
 from .runner import MigrationRun
 from .scheduler import (
     ClusterScheduler,
@@ -25,6 +42,13 @@ from .scheduler import (
     Task,
 )
 from .session import ScenarioRuntime
+from .sustained import (
+    SustainedLoadDriver,
+    SustainedReport,
+    SustainedResult,
+    UtilizationSample,
+    run_sustained,
+)
 from .topology import (
     DEST,
     FILE_SERVER,
@@ -34,6 +58,7 @@ from .topology import (
     NodeGraph,
     PRESETS,
     ScenarioSpec,
+    SustainedSpec,
     build_preset,
     load_scenario,
     scenario_from_dict,
@@ -41,12 +66,17 @@ from .topology import (
 )
 
 __all__ = [
+    "ArrivalSpec",
+    "ArrivalStream",
     "BackgroundLoad",
+    "BalancedPolicy",
     "ChaosReport",
     "ChaosRun",
     "Cluster",
     "ClusterScheduler",
+    "ConvergedView",
     "DEST",
+    "DefragPolicy",
     "FILE_SERVER",
     "GossipLoadMap",
     "HOME",
@@ -54,22 +84,34 @@ __all__ = [
     "LoadWindow",
     "MigrantSpec",
     "MigrationDecision",
+    "MigrationPolicy",
     "MigrationRun",
     "MultiMigrationRun",
     "NodeGraph",
+    "POLICIES",
     "PRESETS",
+    "ProcessArrival",
     "ScenarioRuntime",
     "ScenarioSpec",
     "SchedulerDriveResult",
     "SchedulerDriver",
     "SchedulerReport",
+    "SustainedLoadDriver",
+    "SustainedReport",
+    "SustainedResult",
+    "SustainedSpec",
     "Task",
+    "ThresholdPolicy",
+    "UtilizationSample",
     "build_preset",
     "chaos_cell",
     "load_scenario",
+    "make_policy",
     "parallel_map",
+    "peak_procs",
     "resolve_jobs",
     "run_chaos",
+    "run_sustained",
     "scenario_from_dict",
     "two_node_spec",
 ]

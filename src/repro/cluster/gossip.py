@@ -48,7 +48,7 @@ class GossipLoadMap:
         self,
         sim: Simulator,
         cluster: Cluster,
-        load_of: Callable[[str], int],
+        load_of: Callable[[str], int] | None = None,
         interval: float = 1.0,
         fanout_entries: int = 4,
         seed: int = 0,
@@ -63,6 +63,12 @@ class GossipLoadMap:
             raise ConfigurationError(f"fanout_entries must be >= 1: {fanout_entries}")
         self.sim = sim
         self.cluster = cluster
+        if load_of is None:
+            # Default sample: what the node's own infod can observe (its
+            # CPU queue length), see repro.node.infod.local_load.
+            from ..node.infod import local_load
+
+            load_of = lambda name: local_load(cluster.node(name))  # noqa: E731
         self.load_of = load_of
         self.interval = interval
         self.fanout_entries = fanout_entries

@@ -1,23 +1,52 @@
-"""Background load generator.
+"""Background load generation: scheduled windows and seeded arrival streams.
 
-Puts extra runnable processes on a node over scheduled windows, stretching
-the migrant's CPU share.  Used to exercise the ``c``/``c'`` terms of
-AMPoM's eq. 3 (the algorithm prefetches less when the process cannot
-consume pages quickly) and by the scheduler examples.
+Two load models live here:
+
+* :class:`LoadWindow` + :class:`BackgroundLoad` — the original scheduled
+  model: extra runnable processes on a node over fixed windows, stretching
+  the migrant's CPU share (the ``c``/``c'`` terms of AMPoM's eq. 3).
+* :class:`ArrivalSpec` + :class:`ArrivalStream` — the sustained-load
+  model used by the fleet-scale ``cluster_32``/``cluster_300`` scenarios:
+  a continuous, fully seeded stream of process arrivals per node
+  (exponential inter-arrival times, exponential lifetimes, a small
+  palette of memory footprints), the workload shape of the paper's
+  300-node Gideon cluster experiments.
+
+**Window stacking semantics.**  Load windows on one node are *additive*:
+at any instant the node's runnable count is the sum of ``n_procs`` over
+every window containing that instant.  Overlapping windows are therefore
+legal and well-defined — each window acquires ``n_procs`` CPU slots at
+``start`` and releases exactly those at ``start + duration``, so counts
+can never go negative regardless of how windows interleave (a regression
+test in ``tests/cluster/test_loadgen.py`` pins this).  Use
+:func:`peak_procs` to inspect the resulting concurrency profile.
+
+**Determinism.**  Each node's arrival stream is drawn from its own
+``child_rng(seed, "arrivals:<node>")`` stream, keyed by node *name* — so
+adding or removing a node never perturbs any other node's draws, and the
+same seed always reproduces the same stream (the Hypothesis suite in
+``tests/cluster/test_arrivals.py`` pins both properties).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..node.node import Node
 from ..sim import Simulator
+from ..sim.rng import child_rng
+from ..units import mib
 
 
 @dataclass(frozen=True, slots=True)
 class LoadWindow:
-    """``n_procs`` CPU hogs on the node during [start, start + duration)."""
+    """``n_procs`` CPU hogs on the node during [start, start + duration).
+
+    Windows stack additively: overlapping windows on one node sum their
+    ``n_procs`` (see the module docstring for the exact semantics).
+    """
 
     start: float
     duration: float
@@ -26,10 +55,39 @@ class LoadWindow:
     def __post_init__(self) -> None:
         if self.start < 0 or self.duration <= 0 or self.n_procs < 1:
             raise ConfigurationError(f"invalid load window: {self}")
+        if not (math.isfinite(self.start) and math.isfinite(self.duration)):
+            raise ConfigurationError(f"load window bounds must be finite: {self}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def peak_procs(windows: list[LoadWindow]) -> int:
+    """Maximum concurrent ``n_procs`` over a (possibly overlapping) set of
+    windows — the stacking profile's high-water mark.
+
+    Release edges sort before acquire edges at equal times, matching the
+    half-open ``[start, end)`` window semantics.
+    """
+    edges: list[tuple[float, int, int]] = []
+    for window in windows:
+        edges.append((window.start, 1, window.n_procs))
+        edges.append((window.end, 0, -window.n_procs))
+    peak = level = 0
+    for _, _, delta in sorted(edges):
+        level += delta
+        peak = max(peak, level)
+    return peak
 
 
 class BackgroundLoad:
-    """Applies a schedule of load windows to a node."""
+    """Applies a schedule of load windows to a node.
+
+    Overlapping windows stack: each window's acquires are matched by its
+    own releases, so the node's runnable count at any instant is the sum
+    of the active windows' ``n_procs``.
+    """
 
     def __init__(self, sim: Simulator, node: Node, windows: list[LoadWindow]) -> None:
         self.sim = sim
@@ -38,6 +96,10 @@ class BackgroundLoad:
         for window in self.windows:
             sim.schedule_at(window.start, self._acquire_n(window.n_procs))
             sim.schedule_at(window.start + window.duration, self._release_n(window.n_procs))
+
+    def peak_procs(self) -> int:
+        """High-water mark of the stacked schedule (see :func:`peak_procs`)."""
+        return peak_procs(self.windows)
 
     def _acquire_n(self, n: int):
         def apply() -> None:
@@ -52,3 +114,161 @@ class BackgroundLoad:
                 self.node.cpu.release()
 
         return apply
+
+
+# ----------------------------------------------------------------------
+# Sustained-load arrival streams (fleet-scale scenarios)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalSpec:
+    """Parameters of a seeded per-node process arrival stream.
+
+    Every node draws arrivals as a Poisson process at ``rate_hz`` over
+    ``[0, horizon_s)``; nodes named in ``hotspot`` use ``hotspot_rate_hz``
+    instead (the skew that gives the balancer something to do).  Each
+    arrival draws an exponential CPU lifetime with mean
+    ``mean_lifetime_s`` (clamped to ``[min_lifetime_s, max_lifetime_s]``)
+    and a memory footprint uniformly from ``memory_bytes_choices``.
+    """
+
+    rate_hz: float
+    horizon_s: float
+    mean_lifetime_s: float = 1.0
+    min_lifetime_s: float = 0.05
+    max_lifetime_s: float = 30.0
+    memory_bytes_choices: tuple[int, ...] = (mib(1) // 4, mib(1) // 2, mib(1))
+    #: Node *names* with elevated arrival rate.  Name-keyed (never
+    #: positional) so per-node stream independence survives node
+    #: insertion.
+    hotspot: tuple[str, ...] = ()
+    hotspot_rate_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "memory_bytes_choices", tuple(self.memory_bytes_choices))
+        object.__setattr__(self, "hotspot", tuple(self.hotspot))
+        if self.rate_hz < 0 or not math.isfinite(self.rate_hz):
+            raise ConfigurationError(f"rate_hz must be >= 0 and finite: {self.rate_hz}")
+        if self.horizon_s <= 0 or not math.isfinite(self.horizon_s):
+            raise ConfigurationError(f"horizon_s must be positive: {self.horizon_s}")
+        if self.mean_lifetime_s <= 0:
+            raise ConfigurationError(
+                f"mean_lifetime_s must be positive: {self.mean_lifetime_s}"
+            )
+        if not (0 < self.min_lifetime_s <= self.max_lifetime_s):
+            raise ConfigurationError(
+                f"need 0 < min_lifetime_s <= max_lifetime_s: "
+                f"{self.min_lifetime_s}, {self.max_lifetime_s}"
+            )
+        if not self.memory_bytes_choices:
+            raise ConfigurationError("memory_bytes_choices may not be empty")
+        for choice in self.memory_bytes_choices:
+            if choice < 1:
+                raise ConfigurationError(
+                    f"memory_bytes_choices must be positive: {self.memory_bytes_choices}"
+                )
+        if self.hotspot and self.hotspot_rate_hz <= 0:
+            raise ConfigurationError(
+                "hotspot nodes need a positive hotspot_rate_hz"
+            )
+
+    def rate_for(self, node: str) -> float:
+        """Arrival rate of one node (hotspot-aware, name-keyed)."""
+        return self.hotspot_rate_hz if node in self.hotspot else self.rate_hz
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessArrival:
+    """One drawn arrival: where, when, and how big."""
+
+    node: str
+    time: float
+    cpu_seconds: float
+    memory_bytes: int
+    #: Per-node sequence number (stable within the node's own stream).
+    index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.node}/p{self.index}"
+
+
+class ArrivalStream:
+    """The fully materialized, seeded arrival schedule of a cluster.
+
+    Per node, draws come from ``child_rng(seed, "arrivals:<node>")`` in a
+    fixed order (inter-arrival gap, lifetime, memory), so each node's
+    stream is an independent deterministic function of ``(seed, name,
+    spec)`` — the property the scale test battery leans on.
+    """
+
+    def __init__(self, spec: ArrivalSpec, seed: int, nodes) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.nodes = tuple(nodes)
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ConfigurationError(f"duplicate node names: {self.nodes}")
+        self._per_node: dict[str, tuple[ProcessArrival, ...]] = {
+            node: self._draw(node) for node in self.nodes
+        }
+
+    def _draw(self, node: str) -> tuple[ProcessArrival, ...]:
+        spec = self.spec
+        rate = spec.rate_for(node)
+        if rate <= 0.0:
+            return ()
+        rng = child_rng(self.seed, f"arrivals:{node}")
+        out: list[ProcessArrival] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= spec.horizon_s:
+                break
+            lifetime = float(rng.exponential(spec.mean_lifetime_s))
+            lifetime = min(max(lifetime, spec.min_lifetime_s), spec.max_lifetime_s)
+            memory = spec.memory_bytes_choices[
+                int(rng.integers(0, len(spec.memory_bytes_choices)))
+            ]
+            out.append(
+                ProcessArrival(
+                    node=node,
+                    time=t,
+                    cpu_seconds=lifetime,
+                    memory_bytes=int(memory),
+                    index=len(out),
+                )
+            )
+        return tuple(out)
+
+    def arrivals_for(self, node: str) -> tuple[ProcessArrival, ...]:
+        """The node's own stream, in arrival order."""
+        return self._per_node[node]
+
+    def all_arrivals(self) -> tuple[ProcessArrival, ...]:
+        """Every arrival, in the deterministic global order
+        ``(time, node, index)``."""
+        merged = [a for node in self.nodes for a in self._per_node[node]]
+        merged.sort(key=lambda a: (a.time, a.node, a.index))
+        return tuple(merged)
+
+    def load_windows(self, node: str) -> list[LoadWindow]:
+        """The node's stream as stacked :class:`LoadWindow` s (one hog per
+        arrival for its lifetime) — always valid by construction."""
+        return [
+            LoadWindow(start=a.time, duration=a.cpu_seconds, n_procs=1)
+            for a in self._per_node[node]
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._per_node.values())
+
+
+__all__ = [
+    "ArrivalSpec",
+    "ArrivalStream",
+    "BackgroundLoad",
+    "LoadWindow",
+    "ProcessArrival",
+    "peak_procs",
+]

@@ -28,6 +28,7 @@ from ..errors import ConfigurationError
 from ..sim import Simulator, Timeout
 from ..units import pages_for
 from .cluster import Cluster
+from .policy import MigrationPolicy, ThresholdPolicy, make_policy, pick_task
 
 
 @dataclass(slots=True)
@@ -41,6 +42,10 @@ class Task:
     #: Fraction of the address space a migrant actually re-touches soon
     #: after migration (drives AMPoM's post-migration paging cost).
     working_set_fraction: float = 1.0
+    #: Simulated time the process arrives (sustained-load scenarios feed
+    #: arrival-stream draws in here; 0.0 keeps the classic batch start).
+    #: Before its arrival a task contributes no load and cannot migrate.
+    arrival_s: float = 0.0
     remaining: float = field(init=False)
     migrations: int = field(default=0, init=False)
     frozen_time: float = field(default=0.0, init=False)
@@ -51,6 +56,8 @@ class Task:
             raise ConfigurationError(f"invalid task {self.name!r}")
         if not (0.0 < self.working_set_fraction <= 1.0):
             raise ConfigurationError("working_set_fraction must be in (0, 1]")
+        if self.arrival_s < 0.0:
+            raise ConfigurationError(f"arrival_s must be >= 0: {self.arrival_s}")
         self.remaining = self.cpu_seconds
 
 
@@ -92,6 +99,7 @@ class ClusterScheduler:
         min_task_lifetime: float = 0.0,
         gossip=None,
         node_plan=None,
+        policy: MigrationPolicy | None = None,
     ) -> None:
         if freeze_model not in ("ampom", "openmosix", "none"):
             raise ConfigurationError(f"unknown freeze model {freeze_model!r}")
@@ -122,6 +130,11 @@ class ClusterScheduler:
         #: peers the sender *suspects*, so detection latency is part of the
         #: modelled cost.
         self.node_plan = node_plan
+        #: Trigger policy for the decentralized (gossip) round.  ``None``
+        #: defaults (lazily, on first gossip round) to the openMosix
+        #: threshold rule parameterized by ``load_gap_threshold``; see
+        #: :mod:`repro.cluster.policy`.
+        self.policy = policy
         self.migrations = 0
         self.total_frozen_time = 0.0
         #: Every placement decision in the order it was taken.
@@ -154,12 +167,15 @@ class ClusterScheduler:
     # ------------------------------------------------------------------
     def _loads(self) -> dict[str, int]:
         loads = {name: 0 for name in self.cluster.nodes}
+        now = self.sim.now
         for task in self.tasks:
-            if task.finished_at is None:
+            if task.finished_at is None and task.arrival_s <= now:
                 loads[task.node] += 1
         return loads
 
     def _task_process(self, task: Task):
+        if task.arrival_s > 0.0:
+            yield Timeout(task.arrival_s)
         while task.remaining > 0:
             # Serve a pending migration freeze before computing further.
             freeze = self._pending_freeze.pop(task.name, 0.0)
@@ -188,11 +204,13 @@ class ClusterScheduler:
         self.total_frozen_time += freeze
 
     def _eligible(self, node: str) -> list[Task]:
+        now = self.sim.now
         return [
             t
             for t in self.tasks
             if t.node == node
             and t.finished_at is None
+            and t.arrival_s <= now
             and t.cpu_seconds >= self.min_task_lifetime
         ]
 
@@ -204,23 +222,43 @@ class ClusterScheduler:
         return [n for n in names if not self.node_plan.down(n, now)]
 
     def _central_round(self) -> None:
-        """Omniscient greedy balancing (exact global loads)."""
+        """Omniscient greedy balancing (exact global loads).
+
+        Ties break on node/task name so the decision log is a pure
+        function of the seed — and so the decentralized threshold policy
+        with a fully converged view reproduces these exact decisions
+        while the overload is confined to one node
+        (``tests/cluster/test_policy.py``; once several nodes exceed the
+        gap at once the central round still serializes one move per round
+        while decentralized senders act concurrently, a documented
+        divergence).
+        """
         loads = self._loads()
         alive = self._alive(loads)
         if len(alive) < 2:
             return
-        busiest = max(alive, key=lambda n: loads[n])
-        idlest = min(alive, key=lambda n: loads[n])
+        busiest = max(alive, key=lambda n: (loads[n], n))
+        idlest = min(alive, key=lambda n: (loads[n], n))
         if loads[busiest] - loads[idlest] < self.load_gap_threshold:
             return
         candidates = self._eligible(busiest)
         if not candidates:
             return
         # Move the task with the most remaining work (it benefits most).
-        self._migrate(max(candidates, key=lambda t: t.remaining), idlest)
+        self._migrate(pick_task(candidates), idlest)
 
     def _gossip_round(self) -> None:
-        """Decentralized, sender-initiated balancing from gossip views."""
+        """Decentralized, sender-initiated balancing from gossip views.
+
+        Each node decides alone: its :class:`MigrationPolicy` sees only the
+        node's own load and its (partial, stale, suspicion-filtered) gossip
+        view, never the global snapshot.
+        """
+        policy = self.policy
+        if policy is None:
+            policy = self.policy = ThresholdPolicy(
+                load_gap_threshold=self.load_gap_threshold
+            )
         loads = self._loads()
         for node in sorted(self.cluster.nodes):
             if self.node_plan is not None and self.node_plan.down(node, self.sim.now):
@@ -231,14 +269,14 @@ class ClusterScheduler:
                 view = {n: load for n, load in view.items() if n not in suspected}
             if not view:
                 continue
-            believed_idlest = min(view, key=lambda n: view[n])
-            if loads[node] - view[believed_idlest] < self.load_gap_threshold:
+            target = policy.select_target(node, loads[node], view)
+            if target is None:
                 continue
             candidates = self._eligible(node)
             if not candidates:
                 continue
-            task = max(candidates, key=lambda t: t.remaining)
-            self._migrate(task, believed_idlest)
+            task = policy.select_task(candidates)
+            self._migrate(task, target)
             loads[node] -= 1
 
     def _balancer(self):
@@ -310,6 +348,11 @@ class SchedulerDriver:
         time_slice: float = 0.1,
         min_task_lifetime: float = 0.0,
         gossip=None,
+        policy: "str | MigrationPolicy | None" = None,
+        decentralized: bool = False,
+        gossip_interval_s: float = 1.0,
+        arrival_times=None,
+        task_cpu_seconds=None,
     ) -> None:
         #: ``placements`` is a sequence of (workload, home_node) pairs.
         self.graph = graph
@@ -322,9 +365,38 @@ class SchedulerDriver:
         self.time_slice = time_slice
         self.min_task_lifetime = min_task_lifetime
         self.gossip = gossip
+        #: Policy name (resolved via :func:`repro.cluster.policy.make_policy`)
+        #: or a ready :class:`MigrationPolicy` instance; ``None`` keeps the
+        #: threshold default.  Only consulted on decentralized rounds.
+        self.policy = policy
+        #: When true (and no external ``gossip`` was supplied), phase 1
+        #: builds its own :class:`repro.cluster.gossip.GossipLoadMap` on the
+        #: plan simulator, so every trigger decision reads a node-local,
+        #: message-propagated view instead of the omniscient snapshot.
+        self.decentralized = decentralized
+        self.gossip_interval_s = gossip_interval_s
+        #: Optional per-placement arrival times (sustained-load streams);
+        #: ``None`` keeps the classic everyone-at-t=0 batch.
+        self.arrival_times = None if arrival_times is None else list(arrival_times)
+        #: Optional per-placement CPU demand override.  Sustained scenarios
+        #: draw lifetimes from the arrival stream instead of deriving them
+        #: from the workload trace (whose estimate is milliseconds — far
+        #: too short to build up sustained load).
+        self.task_cpu_seconds = (
+            None if task_cpu_seconds is None else list(task_cpu_seconds)
+        )
         self.runtime = None
         if not self.placements:
             raise ConfigurationError("SchedulerDriver needs at least one placement")
+        for label, override in (
+            ("arrival_times", self.arrival_times),
+            ("task_cpu_seconds", self.task_cpu_seconds),
+        ):
+            if override is not None and len(override) != len(self.placements):
+                raise ConfigurationError(
+                    f"{label} has {len(override)} entries for "
+                    f"{len(self.placements)} placements"
+                )
         names = set(graph.nodes)
         for i, (_workload, home) in enumerate(self.placements):
             if home not in names:
@@ -354,20 +426,23 @@ class SchedulerDriver:
                 nodes=self.graph.nodes,
                 protected={FILE_SERVER} if FILE_SERVER in self.graph.nodes else (),
             )
-        tasks = []
-        for i, (workload, home) in enumerate(self.placements):
-            if workload.address_space is None:
-                # The estimate needs the trace; the runtime re-runs setup()
-                # later (allocation is deterministic, so this is free).
-                workload.setup()
-            tasks.append(
-                Task(
-                    name=f"task-{i}",
-                    cpu_seconds=workload.total_compute_estimate(),
-                    memory_bytes=workload.memory_bytes,
-                    node=home,
-                )
+        tasks = self._make_tasks()
+        gossip = self.gossip
+        own_gossip = None
+        if self.decentralized and gossip is None:
+            from .gossip import GossipLoadMap
+
+            # Bound to the plan simulator: load updates are real messages
+            # on the plan's links, and every view lags accordingly.
+            own_gossip = GossipLoadMap(
+                sim,
+                cluster,
+                load_of=lambda name: scheduler._loads()[name],
+                interval=self.gossip_interval_s,
+                seed=self.config.seed,
+                node_plan=node_plan,
             )
+            gossip = own_gossip
         scheduler = ClusterScheduler(
             sim,
             cluster,
@@ -378,11 +453,51 @@ class SchedulerDriver:
             load_gap_threshold=self.load_gap_threshold,
             time_slice=self.time_slice,
             min_task_lifetime=self.min_task_lifetime,
-            gossip=self.gossip,
+            gossip=gossip,
             node_plan=node_plan,
+            policy=self._resolve_policy(),
         )
+        self._spawn_monitors(sim, scheduler)
         report = scheduler.run()
+        if own_gossip is not None:
+            own_gossip.stop()
         return report, list(scheduler.decisions)
+
+    def _make_tasks(self) -> list[Task]:
+        """Placement pairs -> scheduler tasks (arrival/lifetime overrides
+        applied when a sustained-load stream drives the run)."""
+        tasks = []
+        for i, (workload, home) in enumerate(self.placements):
+            cpu = None if self.task_cpu_seconds is None else self.task_cpu_seconds[i]
+            if cpu is None:
+                if workload.address_space is None:
+                    # The estimate needs the trace; the runtime re-runs
+                    # setup() later (allocation is deterministic, so this
+                    # is free).
+                    workload.setup()
+                cpu = workload.total_compute_estimate()
+            tasks.append(
+                Task(
+                    name=f"task-{i}",
+                    cpu_seconds=cpu,
+                    memory_bytes=workload.memory_bytes,
+                    node=home,
+                    arrival_s=0.0 if self.arrival_times is None else self.arrival_times[i],
+                )
+            )
+        return tasks
+
+    def _resolve_policy(self) -> "MigrationPolicy | None":
+        if self.policy is None or isinstance(self.policy, MigrationPolicy):
+            return self.policy
+        if self.policy == "threshold":
+            # Honor the driver-level gap knob rather than the class default.
+            return make_policy("threshold", load_gap_threshold=self.load_gap_threshold)
+        return make_policy(self.policy)
+
+    def _spawn_monitors(self, sim: Simulator, scheduler: ClusterScheduler) -> None:
+        """Hook for subclasses: spawn observation processes on the plan
+        simulator (e.g. the sustained driver's utilization sampler)."""
 
     def migrant_specs(self, decisions) -> tuple:
         """Convert a decision log into per-task migration paths.

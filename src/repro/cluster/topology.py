@@ -24,7 +24,9 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..config import FaultSpec, NetworkSpec, NodeFaultSpec, SimulationConfig
 from ..errors import ConfigurationError, MigrationError
-from ..units import ms
+from ..units import mib, ms
+from .loadgen import ArrivalSpec
+from .policy import POLICIES
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.eventlog import FaultLog
@@ -196,6 +198,53 @@ class MigrantSpec:
         return len(self.path) - 1
 
 
+@dataclass(frozen=True)
+class SustainedSpec:
+    """Sustained-load mode of a scenario: a seeded arrival stream plus the
+    decentralized scheduling that serves it.
+
+    When a :class:`ScenarioSpec` carries one of these, the scenario is not
+    a fixed list of migrants: :class:`repro.cluster.sustained.SustainedLoadDriver`
+    draws continuous process arrivals from ``arrivals`` (one independent
+    RNG stream per node), lets each node's :class:`MigrationPolicy` take
+    trigger decisions off its own gossip view, and executes the resulting
+    decision log as real (possibly multi-hop) migrations.
+    """
+
+    arrivals: ArrivalSpec
+    #: Trigger policy name (:data:`repro.cluster.policy.POLICIES`).
+    policy: str = "threshold"
+    #: Migration scheme executing the decided moves.
+    scheme: str = "AMPoM"
+    balance_interval_s: float = 0.5
+    gossip_interval_s: float = 1.0
+    load_gap_threshold: int = 2
+    #: Cadence of the utilization/migration-count samples in the report.
+    sample_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown migration policy {self.policy!r}; "
+                f"pick one of {sorted(POLICIES)}"
+            )
+        if self.scheme not in _SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; pick one of {sorted(_SCHEMES)}"
+            )
+        for label, value in (
+            ("balance_interval_s", self.balance_interval_s),
+            ("gossip_interval_s", self.gossip_interval_s),
+            ("sample_interval_s", self.sample_interval_s),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{label} must be positive: {value}")
+        if self.load_gap_threshold < 1:
+            raise ConfigurationError(
+                f"load_gap_threshold must be >= 1: {self.load_gap_threshold}"
+            )
+
+
 @dataclass(eq=False)
 class ScenarioSpec:
     """A full cluster scenario: graph + migrants + shared configuration."""
@@ -207,12 +256,28 @@ class ScenarioSpec:
     #: Background CPU load windows, keyed by node name (see
     #: :class:`repro.cluster.loadgen.BackgroundLoad`).
     background: Mapping[str, Sequence["LoadWindow"]] = field(default_factory=dict)
+    #: Sustained-load mode: when set, ``migrants`` may be empty — the
+    #: migrations are decided at run time from the arrival stream.
+    sustained: SustainedSpec | None = None
 
     def __post_init__(self) -> None:
         self.migrants = tuple(self.migrants)
-        if not self.migrants:
-            raise MigrationError("a scenario needs at least one migrant")
+        if not self.migrants and self.sustained is None:
+            raise MigrationError(
+                "a scenario needs at least one migrant (or a sustained section)"
+            )
         names = set(self.graph.nodes)
+        if self.sustained is not None:
+            for node in self.sustained.arrivals.hotspot:
+                if node not in names:
+                    raise MigrationError(
+                        f"sustained hotspot names unknown node {node!r} "
+                        f"(graph has {len(self.graph.nodes)} nodes)"
+                    )
+                if node == FILE_SERVER:
+                    raise MigrationError(
+                        f"sustained hotspot may not include {FILE_SERVER!r}"
+                    )
         for i, migrant in enumerate(self.migrants):
             missing = [n for n in migrant.path if n not in names]
             if missing:
@@ -412,12 +477,62 @@ def _preset_contention(scheme: str, scale: float, seed: int) -> ScenarioSpec:
     return ScenarioSpec(graph=NodeGraph(tuple(nodes)), migrants=migrants, config=config)
 
 
+def _cluster_nodes(count: int) -> tuple[str, ...]:
+    return tuple(f"n{i:03d}" for i in range(count))
+
+
+def _preset_cluster(
+    n_nodes: int,
+    n_hot: int,
+    rate_hz: float,
+    hotspot_rate_hz: float,
+    scheme: str,
+    scale: float,
+    seed: int,
+) -> ScenarioSpec:
+    """Shared shape of the fleet presets: ``n_nodes`` fully meshed, the
+    first ``n_hot`` nodes receiving most of the arrivals (the load skew
+    that gives decentralized balancing something to spread out)."""
+    nodes = _cluster_nodes(n_nodes)
+    # Memory palette scales with the run (64 KiB floor keeps the remote
+    # paging phase non-trivial even at tiny scales).
+    floor = mib(1) // 16
+    choices = tuple(max(int(mib(m) * scale), floor) for m in (2, 4, 8))
+    arrivals = ArrivalSpec(
+        rate_hz=rate_hz,
+        horizon_s=8.0,
+        mean_lifetime_s=2.5,
+        max_lifetime_s=12.0,
+        memory_bytes_choices=choices,
+        hotspot=nodes[:n_hot],
+        hotspot_rate_hz=hotspot_rate_hz,
+    )
+    return ScenarioSpec(
+        graph=NodeGraph(nodes),
+        migrants=(),
+        config=_preset_config(scale, seed),
+        sustained=SustainedSpec(arrivals=arrivals, scheme=scheme),
+    )
+
+
+def _preset_cluster_32(scheme: str, scale: float, seed: int) -> ScenarioSpec:
+    return _preset_cluster(32, 4, 0.25, 1.75, scheme, scale, seed)
+
+
+def _preset_cluster_300(scheme: str, scale: float, seed: int) -> ScenarioSpec:
+    # The Gideon-scale run: a background trickle everywhere plus eight
+    # hotspot nodes, as in the paper's 300-node cluster experiments.
+    return _preset_cluster(300, 8, 0.02, 1.2, scheme, scale, seed)
+
+
 #: name -> builder(scheme, scale, seed) for ``repro cluster run --preset``.
 PRESETS: dict[str, Callable[[str, float, int], ScenarioSpec]] = {
     "pair": _preset_pair,
     "three-hop": _preset_three_hop,
     "three-hop-lossy": _preset_three_hop_lossy,
     "contention": _preset_contention,
+    "cluster_32": _preset_cluster_32,
+    "cluster_300": _preset_cluster_300,
 }
 
 
@@ -458,9 +573,29 @@ def scenario_from_dict(d: Mapping) -> ScenarioSpec:
     """
     try:
         nodes = tuple(d["nodes"])
-        migrant_dicts = list(d["migrants"])
+        if "sustained" in d:
+            migrant_dicts = list(d.get("migrants", ()))
+        else:
+            migrant_dicts = list(d["migrants"])
     except KeyError as exc:
         raise MigrationError(f"scenario spec is missing required key {exc}")
+    sustained = None
+    if "sustained" in d:
+        sd = dict(d["sustained"])
+        try:
+            ad = dict(sd.pop("arrivals"))
+        except KeyError:
+            raise MigrationError("sustained section needs an 'arrivals' object")
+        if "memory_bytes_choices" in ad:
+            ad["memory_bytes_choices"] = tuple(
+                int(x) for x in ad["memory_bytes_choices"]
+            )
+        if "hotspot" in ad:
+            ad["hotspot"] = tuple(ad["hotspot"])
+        try:
+            sustained = SustainedSpec(arrivals=ArrivalSpec(**ad), **sd)
+        except TypeError as exc:
+            raise MigrationError(f"bad sustained section: {exc}")
     links = tuple(
         LinkSpec(
             a=ld["a"],
@@ -506,6 +641,7 @@ def scenario_from_dict(d: Mapping) -> ScenarioSpec:
         migrants=migrants,
         config=config,
         max_events=d.get("max_events"),
+        sustained=sustained,
     )
 
 
@@ -529,6 +665,7 @@ __all__ = [
     "NodeGraph",
     "PRESETS",
     "ScenarioSpec",
+    "SustainedSpec",
     "THREE_HOP_DELAY_S",
     "build_preset",
     "load_scenario",

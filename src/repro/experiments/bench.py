@@ -115,6 +115,19 @@ def _run_ampom_traced(obs=None) -> ExecutionResult:
     return _run_ampom_pipeline(obs=obs if obs is not None else Observability.enabled())
 
 
+def _run_cluster_sustained(obs=None):
+    """Fleet-scale sustained load end to end: the ``cluster_32`` arrival
+    stream, decentralized threshold decisions off a real gossip map, and
+    every decided move executed as a real remote-paging migration (see
+    docs/CLUSTER.md)."""
+    from ..cluster.sustained import run_sustained
+    from ..cluster.topology import build_preset
+
+    res = run_sustained(build_preset("cluster_32", seed=3), obs=obs)
+    assert res.report.completed == res.report.arrivals
+    return res
+
+
 #: name -> runner (optionally taking an Observability bundle); the first
 #: four are the same workloads as the pytest cases.
 CASES: dict[str, Callable[[], ExecutionResult]] = {
@@ -125,6 +138,7 @@ CASES: dict[str, Callable[[], ExecutionResult]] = {
     "three_hop": _run_three_hop,
     "node_churn": _run_node_churn,
     "ampom_traced": _run_ampom_traced,
+    "cluster_sustained": _run_cluster_sustained,
 }
 
 

@@ -383,6 +383,44 @@ def three_hop_comparison(
     return out
 
 
+def cluster_sustained_figure(
+    preset: str = "cluster_32",
+    policies: tuple[str, ...] = ("threshold", "balanced"),
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> dict[str, dict]:
+    """Cluster-utilization and cumulative-migration series per policy.
+
+    ``{policy: {"utilization": [(t, busy_fraction)], "migrations":
+    [(t, cumulative_count)], "makespan", "migrations_total"}}`` for one
+    sustained-load preset — the fleet-scale counterpart of the paper's
+    Gideon figures.  Only phase 1 (the decentralized scheduling
+    simulation) runs here; the series are the utilization sampler's
+    ticks, deterministic per seed.
+    """
+    import dataclasses
+
+    from ..cluster.sustained import SustainedLoadDriver
+    from ..cluster.topology import build_preset
+
+    out: dict[str, dict] = {}
+    for policy in policies:
+        spec = build_preset(preset, scale=scale, seed=seed)
+        sustained = dataclasses.replace(spec.sustained, policy=policy)
+        driver = SustainedLoadDriver(spec.graph, sustained, config=spec.config)
+        driver.plan()
+        report = driver.report
+        out[policy] = {
+            "utilization": [
+                (s.time, s.busy_nodes / report.nodes) for s in report.utilization
+            ],
+            "migrations": [(s.time, s.migrations) for s in report.utilization],
+            "makespan": report.makespan,
+            "migrations_total": report.migrations,
+        }
+    return out
+
+
 # ----------------------------------------------------------------------
 # headline claims (abstract / sections 5.2-5.4)
 # ----------------------------------------------------------------------

@@ -34,6 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import NodeFaultPlan
 
 
+def local_load(node: Node) -> int:
+    """The load value an oM_infoD exports in its gossip datagrams.
+
+    openMosix disseminates each node's runnable-process count (its load
+    average numerator); here that is the node's current CPU queue length.
+    :class:`repro.cluster.gossip.GossipLoadMap` uses this as its default
+    ``load_of`` sample, so decentralized trigger decisions read exactly
+    what the local daemon can observe — never global state.
+    """
+    return node.load
+
+
 class InfoDaemon:
     """Per-node monitoring daemon for a migrated process's destination.
 

@@ -1,0 +1,143 @@
+"""Property-based tests for the seeded arrival stream (satellite of the
+fleet-scale battery): same seed reproduces the same stream, per-node
+streams are independent of cluster membership, arrival counts track the
+configured rate, and generated load windows always validate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.loadgen import ArrivalSpec, ArrivalStream, LoadWindow, peak_procs
+from repro.errors import ConfigurationError
+
+# Keep draws cheap: modest rates and horizons bound each example to a few
+# hundred arrivals at most.
+specs = st.builds(
+    ArrivalSpec,
+    rate_hz=st.floats(min_value=0.1, max_value=5.0),
+    horizon_s=st.floats(min_value=0.5, max_value=20.0),
+    mean_lifetime_s=st.floats(min_value=0.1, max_value=5.0),
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+node_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+@given(spec=specs, seed=seeds, nodes=node_names)
+@settings(max_examples=50, deadline=None)
+def test_same_seed_same_stream(spec, seed, nodes):
+    """Two streams built from identical (spec, seed, nodes) are equal,
+    arrival for arrival."""
+    a = ArrivalStream(spec, seed=seed, nodes=nodes)
+    b = ArrivalStream(spec, seed=seed, nodes=nodes)
+    assert a.all_arrivals() == b.all_arrivals()
+    for node in nodes:
+        assert a.arrivals_for(node) == b.arrivals_for(node)
+
+
+@given(spec=specs, seed=seeds, nodes=node_names)
+@settings(max_examples=50, deadline=None)
+def test_node_insertion_does_not_perturb_others(spec, seed, nodes):
+    """Adding a node to the cluster leaves every other node's stream
+    bit-identical — streams are keyed by node *name*, not position."""
+    base = ArrivalStream(spec, seed=seed, nodes=nodes)
+    # Insert a fresh node in the *middle* of the membership list, where a
+    # positionally keyed implementation would shift everyone after it.
+    grown_nodes = list(nodes)
+    grown_nodes.insert(len(grown_nodes) // 2, "zz-new")
+    grown = ArrivalStream(spec, seed=seed, nodes=grown_nodes)
+    for node in nodes:
+        assert base.arrivals_for(node) == grown.arrivals_for(node)
+
+
+@given(spec=specs, seed=seeds, nodes=node_names)
+@settings(max_examples=50, deadline=None)
+def test_arrivals_well_formed(spec, seed, nodes):
+    """Every drawn arrival respects the spec's bounds and ordering."""
+    stream = ArrivalStream(spec, seed=seed, nodes=nodes)
+    assert len(stream) == sum(len(stream.arrivals_for(n)) for n in nodes)
+    for node in nodes:
+        arrivals = stream.arrivals_for(node)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        for i, a in enumerate(arrivals):
+            assert a.node == node
+            assert a.index == i
+            assert 0.0 < a.time < spec.horizon_s
+            assert spec.min_lifetime_s <= a.cpu_seconds <= spec.max_lifetime_s
+            assert a.memory_bytes in spec.memory_bytes_choices
+            assert a.name == f"{node}/p{i}"
+
+
+@given(spec=specs, seed=seeds, nodes=node_names)
+@settings(max_examples=50, deadline=None)
+def test_load_windows_always_validate(spec, seed, nodes):
+    """`load_windows` output constructs without ConfigurationError and the
+    stacked peak never exceeds the node's arrival count."""
+    stream = ArrivalStream(spec, seed=seed, nodes=nodes)
+    for node in nodes:
+        windows = stream.load_windows(node)  # LoadWindow validates in __init__
+        assert all(isinstance(w, LoadWindow) for w in windows)
+        assert 0 <= peak_procs(windows) <= len(windows)
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_arrival_count_tracks_rate(seed):
+    """Over a long horizon the per-node count lands within loose Poisson
+    bounds of rate * horizon (mean 200, +/- 6 sigma ~= 85)."""
+    spec = ArrivalSpec(rate_hz=2.0, horizon_s=100.0)
+    stream = ArrivalStream(spec, seed=seed, nodes=("a", "b"))
+    expected = spec.rate_hz * spec.horizon_s
+    slack = 6 * math.sqrt(expected)
+    for node in ("a", "b"):
+        assert abs(len(stream.arrivals_for(node)) - expected) < slack
+
+
+def test_hotspot_rate_is_name_keyed():
+    spec = ArrivalSpec(rate_hz=0.5, horizon_s=50.0, hotspot=("hot",), hotspot_rate_hz=4.0)
+    assert spec.rate_for("hot") == 4.0
+    assert spec.rate_for("cold") == 0.5
+    stream = ArrivalStream(spec, seed=3, nodes=("cold", "hot"))
+    assert len(stream.arrivals_for("hot")) > len(stream.arrivals_for("cold"))
+
+
+def test_zero_rate_draws_nothing():
+    spec = ArrivalSpec(rate_hz=0.0, horizon_s=10.0)
+    stream = ArrivalStream(spec, seed=0, nodes=("a", "b"))
+    assert len(stream) == 0
+
+
+def test_duplicate_nodes_rejected():
+    spec = ArrivalSpec(rate_hz=1.0, horizon_s=1.0)
+    with pytest.raises(ConfigurationError):
+        ArrivalStream(spec, seed=0, nodes=("a", "a"))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rate_hz": -1.0, "horizon_s": 1.0},
+        {"rate_hz": math.inf, "horizon_s": 1.0},
+        {"rate_hz": 1.0, "horizon_s": 0.0},
+        {"rate_hz": 1.0, "horizon_s": 1.0, "mean_lifetime_s": 0.0},
+        {"rate_hz": 1.0, "horizon_s": 1.0, "min_lifetime_s": 2.0, "max_lifetime_s": 1.0},
+        {"rate_hz": 1.0, "horizon_s": 1.0, "memory_bytes_choices": ()},
+        {"rate_hz": 1.0, "horizon_s": 1.0, "memory_bytes_choices": (0,)},
+        {"rate_hz": 1.0, "horizon_s": 1.0, "hotspot": ("a",)},
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        ArrivalSpec(**kwargs)

@@ -44,3 +44,82 @@ def test_invalid_window():
         LoadWindow(start=0.0, duration=0.0, n_procs=1)
     with pytest.raises(ConfigurationError):
         LoadWindow(start=0.0, duration=1.0, n_procs=0)
+
+
+def test_window_rejects_non_finite_bounds():
+    import math
+
+    with pytest.raises(ConfigurationError):
+        LoadWindow(start=math.inf, duration=1.0, n_procs=1)
+    with pytest.raises(ConfigurationError):
+        LoadWindow(start=0.0, duration=math.nan, n_procs=1)
+
+
+def test_window_end_property():
+    assert LoadWindow(start=1.5, duration=2.0, n_procs=1).end == 3.5
+
+
+# ----------------------------------------------------------------------
+# Stacking semantics regression (documented in the module docstring):
+# overlapping windows are additive, releases pair with their own
+# acquires, and the count can never go negative.
+# ----------------------------------------------------------------------
+def test_stacking_regression_exact_profile(sim):
+    """Identical and partially overlapping windows sum at every instant."""
+    from repro.config import HardwareSpec
+    from repro.node.node import Node
+
+    node = Node("n", HardwareSpec())
+    BackgroundLoad(
+        sim,
+        node,
+        [
+            LoadWindow(start=1.0, duration=2.0, n_procs=2),
+            LoadWindow(start=1.0, duration=2.0, n_procs=1),  # exact duplicate span
+            LoadWindow(start=2.0, duration=2.0, n_procs=4),  # staggered overlap
+        ],
+    )
+    expected = {0.5: 0, 1.5: 3, 2.5: 7, 3.5: 4, 4.5: 0}
+    for t, procs in sorted(expected.items()):
+        sim.run(until=t)
+        assert node.cpu.runnable == procs, f"at t={t}"
+
+
+def test_back_to_back_windows_never_go_negative(sim):
+    """A release at t and an acquire at t (half-open [start, end)) leave
+    the count well-defined and non-negative throughout."""
+    from repro.config import HardwareSpec
+    from repro.node.node import Node
+
+    node = Node("n", HardwareSpec())
+    BackgroundLoad(
+        sim,
+        node,
+        [
+            LoadWindow(start=0.5, duration=1.0, n_procs=3),
+            LoadWindow(start=1.5, duration=1.0, n_procs=3),
+        ],
+    )
+    sim.run(until=2.0)
+    assert node.cpu.runnable == 3
+    sim.run(until=3.0)
+    assert node.cpu.runnable == 0
+
+
+def test_peak_procs_matches_stacked_profile():
+    from repro.cluster.loadgen import peak_procs
+
+    assert peak_procs([]) == 0
+    windows = [
+        LoadWindow(start=1.0, duration=2.0, n_procs=2),
+        LoadWindow(start=2.0, duration=2.0, n_procs=4),
+        LoadWindow(start=10.0, duration=1.0, n_procs=1),
+    ]
+    assert peak_procs(windows) == 6
+    # Half-open windows: a release at t sorts before an acquire at t, so
+    # back-to-back windows do not double-count.
+    abutting = [
+        LoadWindow(start=0.0, duration=1.0, n_procs=5),
+        LoadWindow(start=1.0, duration=1.0, n_procs=5),
+    ]
+    assert peak_procs(abutting) == 5

@@ -1,0 +1,131 @@
+"""Determinism-at-scale tests for the sustained-load driver.
+
+Everything here pins the same property from different angles: a sustained
+run is a pure function of (spec, seed) — byte-identical across repeats,
+across ``parallel_map`` fan-out widths, and per policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.loadgen import ArrivalSpec
+from repro.cluster.parallel import parallel_map
+from repro.cluster.policy import POLICIES
+from repro.cluster.sustained import SustainedLoadDriver, run_sustained
+from repro.cluster.topology import NodeGraph, SustainedSpec, build_preset
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.units import mib
+
+
+def _small_spec(policy="threshold"):
+    """A 4-node sustained scenario small enough for per-policy sweeps."""
+    arrivals = ArrivalSpec(
+        rate_hz=0.5,
+        horizon_s=4.0,
+        mean_lifetime_s=1.5,
+        max_lifetime_s=5.0,
+        memory_bytes_choices=(mib(1) // 4, mib(1) // 2),
+        hotspot=("a",),
+        hotspot_rate_hz=3.0,
+    )
+    return (
+        NodeGraph(("a", "b", "c", "d")),
+        SustainedSpec(arrivals=arrivals, policy=policy),
+    )
+
+
+def _run_small(policy="threshold", seed=5):
+    graph, sustained = _small_spec(policy)
+    config = SimulationConfig(seed=seed)
+    return SustainedLoadDriver(graph, sustained, config=config).execute()
+
+
+def _cluster_32_json(seed: int) -> str:
+    """Module-level so ``parallel_map`` can pickle it into fork workers."""
+    return run_sustained(build_preset("cluster_32", seed=seed)).to_json()
+
+
+# ----------------------------------------------------------------------
+# byte-identity
+# ----------------------------------------------------------------------
+def test_cluster_32_run_byte_identical_across_repeats():
+    assert _cluster_32_json(7) == _cluster_32_json(7)
+
+
+def test_cluster_32_sequential_matches_forked():
+    """The same seeded runs serialize identically whether executed in
+    this process or fanned out across fork workers."""
+    seeds = [7, 7]
+    sequential = parallel_map(_cluster_32_json, seeds, jobs=1)
+    forked = parallel_map(_cluster_32_json, seeds, jobs=2)
+    assert sequential == forked
+    assert sequential[0] == sequential[1]
+
+
+def test_different_seeds_draw_different_streams():
+    assert _cluster_32_json(7) != _cluster_32_json(8)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_policy_decision_log_deterministic_per_seed(policy):
+    first = _run_small(policy)
+    second = _run_small(policy)
+    assert first.report.decisions == second.report.decisions
+    assert first.to_json() == second.to_json()
+
+
+# ----------------------------------------------------------------------
+# report shape + plumbing
+# ----------------------------------------------------------------------
+def test_report_reflects_spec_and_stream():
+    res = _run_small("threshold", seed=5)
+    report = res.report
+    assert report.nodes == 4
+    assert report.policy == "threshold"
+    assert report.seed == 5
+    assert report.arrivals > 0
+    assert report.completed == report.arrivals
+    assert report.makespan > 0
+    assert report.migrations == len(report.decisions)
+    assert report.utilization, "the sampler must record at least one tick"
+    times = [s.time for s in report.utilization]
+    assert times == sorted(times)
+    # Cumulative migration counts never decrease.
+    migs = [s.migrations for s in report.utilization]
+    assert all(b >= a for a, b in zip(migs, migs[1:]))
+
+
+def test_policy_override_changes_behavior():
+    """Swapping the policy on an identical spec+seed changes the decision
+    log (threshold balances outward; defrag drains inward)."""
+    threshold = _run_small("threshold")
+    defrag = _run_small("defrag")
+    assert threshold.report.decisions != defrag.report.decisions
+
+
+def test_run_sustained_requires_sustained_section():
+    spec = build_preset("pair")
+    with pytest.raises(ConfigurationError):
+        run_sustained(spec)
+
+
+def test_driver_requires_two_worker_nodes():
+    from repro.cluster.topology import FILE_SERVER
+
+    _, sustained = _small_spec()
+    with pytest.raises(ConfigurationError):
+        SustainedLoadDriver(NodeGraph(("a", FILE_SERVER)), sustained)
+
+
+def test_driver_rejects_empty_stream():
+    graph, sustained = _small_spec()
+    empty = dataclasses.replace(
+        sustained,
+        arrivals=ArrivalSpec(rate_hz=0.0, horizon_s=1.0),
+    )
+    with pytest.raises(ConfigurationError):
+        SustainedLoadDriver(graph, empty)

@@ -37,6 +37,7 @@ class TestHarness:
             "three_hop",
             "node_churn",
             "ampom_traced",
+            "cluster_sustained",
         }
 
     def test_traced_case_runs_with_obs_armed(self):

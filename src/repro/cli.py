@@ -214,6 +214,15 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument(
         "--json", action="store_true", help="emit per-migrant results as JSON"
     )
+    crun.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N|auto",
+        help="shard phase 2 of a sustained-load run across forked workers "
+        "when the decided migrations are node-disjoint (byte-identical "
+        "results; falls back to sequential otherwise; default "
+        "$REPRO_SHARD, else 1)",
+    )
     cfig = cluster_sub.add_parser(
         "figure",
         help="cluster-utilization / migration-count series per policy",
@@ -353,6 +362,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="output JSON path (default: benchmarks/results/BENCH_throughput.json)",
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        help="append-only JSONL perf log (default: "
+        "benchmarks/results/history.jsonl; 'none' disables the append)",
     )
     bench.add_argument(
         "--against",
@@ -811,6 +826,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.policy is not None:
         print("cluster run: --policy applies to sustained-load scenarios only")
         return 2
+    if args.jobs is not None:
+        print("cluster run: --jobs applies to sustained-load scenarios only")
+        return 2
     runtime = ScenarioRuntime(spec)
     results = runtime.execute()
     faulty = runtime.injection_log is not None or runtime.node_plan is not None
@@ -890,7 +908,7 @@ def _run_sustained_cli(spec, label: str, args: argparse.Namespace) -> int:
     if args.policy is not None:
         sustained = dataclasses.replace(sustained, policy=args.policy)
     driver = SustainedLoadDriver(spec.graph, sustained, config=spec.config)
-    res = driver.execute()
+    res = driver.execute(jobs=args.jobs)
     report = res.report
     if args.json:
         import json
@@ -1014,6 +1032,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"score {case['score']:8.1f}"
         )
     print(f"wrote {path}")
+    if args.history != "none":
+        history = bench.append_history(
+            record,
+            args.history if args.history is not None else bench.DEFAULT_HISTORY,
+        )
+        print(f"appended {history}")
     if args.against is None:
         return 0
     from pathlib import Path

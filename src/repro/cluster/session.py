@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-from ..errors import MigrationError, ProcessLostError
+from ..errors import ConfigurationError, MigrationError, ProcessLostError
 from ..faults import (
     FaultEventKind,
     FaultInjectionLog,
@@ -52,13 +52,32 @@ if TYPE_CHECKING:  # pragma: no cover
 class ScenarioRuntime:
     """Builds and executes one :class:`ScenarioSpec`."""
 
-    def __init__(self, spec: ScenarioSpec, obs: "Observability | None" = None) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        obs: "Observability | None" = None,
+        *,
+        global_ids: "tuple[int, ...] | None" = None,
+        global_count: int | None = None,
+    ) -> None:
         self.spec = spec
         self.config = spec.resolved_config()
         #: Optional repro.obs bundle; ``None`` (or an all-``None`` bundle)
         #: keeps every hook detached and the simulator's no-observer fast
         #: path intact.
         self.obs = obs if obs is not None and obs.active else None
+        # Sharded execution (repro.cluster.parallel) runs a component of a
+        # larger spec in this runtime: global ids keep the per-migrant RNG
+        # streams, process names and single-migrant special cases exactly
+        # as they are in the full sequential run.
+        if global_ids is not None and len(global_ids) != len(spec.migrants):
+            raise ConfigurationError(
+                "global_ids must name every migrant of the spec"
+            )
+        self._global_ids = tuple(global_ids) if global_ids is not None else None
+        self._global_count = (
+            int(global_count) if global_count is not None else len(spec.migrants)
+        )
 
         self.sim = Simulator()
         graph = spec.graph
@@ -76,6 +95,17 @@ class ScenarioRuntime:
         #: on the same node pair share one measurement stream.
         self._infods: dict[tuple[str, str], InfoDaemon] = {}
         self._executed = False
+
+        #: Shared batched-analysis engine pool (config.batch.enabled /
+        #: REPRO_BATCH=1): all AMPoM migrants of this run keep their
+        #: window state as rows of the same arrays.  Bit-identical to the
+        #: scalar per-migrant path, so flipping the flag changes nothing
+        #: observable (gated by the golden matrix).
+        self.batch_pool = None
+        if self.config.batch.enabled:
+            from ..core.batch import BatchedAnalysisPool
+
+            self.batch_pool = BatchedAnalysisPool()
 
         # Fault injection: when the spec can perturb anything, wrap every
         # link a migrant's paging traffic crosses in lossy directions
@@ -342,10 +372,11 @@ class ScenarioRuntime:
             raise MigrationError("ScenarioRuntime objects are single-use")
         self._executed = True
         migrants = self.spec.migrants
-        single = len(migrants) == 1
+        single = self._global_count == 1
         procs = []
         for i, migrant in enumerate(migrants):
-            name = migrant.name or ("scenario" if single else f"migrant-{i}")
+            gid = self._global_ids[i] if self._global_ids is not None else i
+            name = migrant.name or ("scenario" if single else f"migrant-{gid}")
             procs.append(self.sim.spawn(self._migrant(i, migrant), name=name))
         for proc in procs:
             self.sim.run_until_complete(proc, max_events=self.spec.max_events)
@@ -380,6 +411,7 @@ class ScenarioRuntime:
             fault_plan=self.fault_plan,
             home=migrant.path[0],
             path=migrant.path,
+            batch_pool=self.batch_pool,
         )
 
     def _infod_for(self, dst: str, home: str) -> InfoDaemon:
@@ -414,7 +446,8 @@ class ScenarioRuntime:
         config = self.config
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
-        single = len(self.spec.migrants) == 1
+        single = self._global_count == 1
+        gid = self._global_ids[index] if self._global_ids is not None else index
         path = migrant.path
         # Mutable copy of the path: failure-aware re-targeting may rewrite
         # a hop whose destination crashed.  Same length, same start.
@@ -539,7 +572,7 @@ class ScenarioRuntime:
         retry = config.retry if self.fault_plan is not None else None
         retry_rng = None
         if self.fault_plan is not None:
-            stream = "retry" if single else f"retry-{index}"
+            stream = "retry" if single else f"retry-{gid}"
             retry_rng = child_rng(config.seed, stream)
         if retry is None and plan is not None and hasattr(outcome.page_service, "next_seq"):
             # Pure node-fault runs arm the reliable protocol too: requests
@@ -547,7 +580,7 @@ class ScenarioRuntime:
             # loop turns that silence into detection + repair.  FFA has no
             # sequence IDs — it participates through aborts and kills only.
             retry = config.retry
-            stream = "retry" if single else f"retry-{index}"
+            stream = "retry" if single else f"retry-{gid}"
             retry_rng = child_rng(config.seed, stream)
 
         checker = None

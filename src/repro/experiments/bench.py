@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable
 
@@ -42,6 +43,9 @@ DEFAULT_OUT = Path("benchmarks") / "results" / "BENCH_throughput.json"
 
 #: Committed baseline used by the CI regression gate.
 DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "BENCH_throughput.json"
+
+#: Append-only perf trajectory, one JSON line per bench run.
+DEFAULT_HISTORY = Path("benchmarks") / "results" / "history.jsonl"
 
 #: Allowed slowdown of a case's score vs the baseline before failing.
 DEFAULT_MAX_REGRESSION = 0.25
@@ -115,6 +119,75 @@ def _run_ampom_traced(obs=None) -> ExecutionResult:
     return _run_ampom_pipeline(obs=obs if obs is not None else Observability.enabled())
 
 
+def _run_batched_pipeline(obs=None):
+    """Fleet-width batched analysis over ``ampom_pipeline``-class streams.
+
+    300 concurrent migrants each replay the sequential-sweep fault pattern
+    of ``ampom_pipeline``; one :class:`repro.core.batch.
+    BatchedWindowEngine` services every fault round with full-width
+    ``record_many``/``analyze_many`` calls, so the per-fault interpreter
+    constant is paid once per *round*, not once per migrant.  The
+    acceptance comparison is per (migrant, fault): this case performs
+    300 x 340 = 102 000 recorded-and-analyzed faults, so its score divided
+    by 102 000 must be at least 5x below ``ampom_pipeline``'s score divided
+    by that case's ~1 023 faults (see docs/PERFORMANCE.md, "Batching and
+    sharding").
+    """
+    import numpy as np
+
+    from ..config import AMPoMConfig, HardwareSpec
+    from ..core.batch import BatchedWindowEngine
+
+    cfg = AMPoMConfig()
+    hw = HardwareSpec()
+    n_migrants, n_faults = 300, 340
+    engine = BatchedWindowEngine(cfg.lookback_length, cfg.dmax, capacity=n_migrants)
+    rows = np.array([engine.new_row() for _ in range(n_migrants)], dtype=np.int64)
+    # Disjoint sequential sweeps, one page per fault — the access pattern
+    # ampom_pipeline's SequentialWorkload produces.
+    vpns = (
+        np.arange(n_faults, dtype=np.int64)[None, :]
+        + (rows * 100_000)[:, None]
+    )
+    rtt = np.full(n_migrants, 1e-3)
+    bw = np.full(n_migrants, 1e8)
+    cpus = np.full(n_migrants, 0.5)
+    analysis = None
+    for fault in range(n_faults):
+        engine.record_many(
+            rows, vpns[:, fault], np.full(n_migrants, fault * 1e-3), cpus
+        )
+        analysis = engine.analyze_many(
+            rows,
+            fallback_interval=cfg.initial_paging_interval,
+            rtt_s=rtt,
+            available_bw_bps=bw,
+            page_size=hw.page_size,
+            max_pages=cfg.max_zone_pages,
+            min_pages=cfg.min_zone_pages,
+        )
+    # Sequential sweeps are perfectly local: every row must score 1.0.
+    assert analysis is not None and (analysis.score == 1.0).all()
+    return analysis
+
+
+def _run_cluster_300_smoke(obs=None):
+    """The ROADMAP's 300-node sustained sweep as a CI smoke case.
+
+    The full ``cluster_300`` preset — background trickle on every node
+    plus eight hotspots — must *complete* inside the bench-scale job's
+    time budget; the score then gates regressions like any other case.
+    Run under ``REPRO_BATCH=1 REPRO_CHECKS=1`` in CI so the differential
+    oracle audits the batched analysis on every migration it makes.
+    """
+    from ..cluster.sustained import run_sustained
+    from ..cluster.topology import build_preset
+
+    res = run_sustained(build_preset("cluster_300", seed=3), obs=obs)
+    assert res.report.completed == res.report.arrivals
+    return res
+
+
 def _run_cluster_sustained(obs=None):
     """Fleet-scale sustained load end to end: the ``cluster_32`` arrival
     stream, decentralized threshold decisions off a real gossip map, and
@@ -139,6 +212,8 @@ CASES: dict[str, Callable[[], ExecutionResult]] = {
     "node_churn": _run_node_churn,
     "ampom_traced": _run_ampom_traced,
     "cluster_sustained": _run_cluster_sustained,
+    "batched_pipeline": _run_batched_pipeline,
+    "cluster_300_smoke": _run_cluster_300_smoke,
 }
 
 
@@ -221,12 +296,44 @@ def write_record(record: dict, out: Path | str = DEFAULT_OUT) -> Path:
     return path
 
 
+def append_history(
+    record: dict, path: Path | str = DEFAULT_HISTORY, timestamp: str | None = None
+) -> Path:
+    """Append one timestamped line for ``record`` to the history log.
+
+    ``write_record`` overwrites its output in place, so the latest record
+    alone carries no trajectory; the history file keeps one JSON line per
+    bench run (``ts`` + calibration + per-case ``min_s``/``score``) and is
+    uploaded as a CI artifact.  Raw ``times_s`` samples are dropped — the
+    log is for trends, not re-analysis.
+    """
+    if timestamp is None:
+        timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    entry = {
+        "ts": timestamp,
+        "format": record.get("format"),
+        "repeats": record.get("repeats"),
+        "calibration_s": record.get("calibration_s"),
+        "cases": {
+            name: {"min_s": case["min_s"], "score": case["score"]}
+            for name, case in record.get("cases", {}).items()
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
 __all__ = [
     "BENCH_FORMAT",
     "CASES",
     "DEFAULT_BASELINE",
+    "DEFAULT_HISTORY",
     "DEFAULT_MAX_REGRESSION",
     "DEFAULT_OUT",
+    "append_history",
     "calibrate",
     "compare",
     "run_bench",

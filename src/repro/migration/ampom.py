@@ -53,6 +53,10 @@ class AmpomMigration(MigrationStrategy):
         policy: PrefetchPolicy
         if self.policy_factory is not None:
             policy = self.policy_factory(ctx)
+        elif ctx.batch_pool is not None:
+            policy = ctx.batch_pool.prefetcher(
+                ctx.ampom, hw, address_limit=ctx.address_space.total_pages
+            )
         else:
             policy = AMPoMPrefetcher(
                 ctx.ampom, hw, address_limit=ctx.address_space.total_pages

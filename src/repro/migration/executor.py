@@ -154,6 +154,40 @@ class MigrantExecutor:
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
         self._obs_metrics = obs.metrics if obs is not None else None
+        # Per-site span recorders: each budget-charge site interns its
+        # (track, name, bucket) triple once and writes the tracer's ring
+        # columns directly on every fault (see SpanTracer.span_site).
+        tr = self._tracer
+        if tr is not None:
+            self._rec_compute = tr.span_site(MIGRANT_TRACK, "compute", "compute")
+            self._rec_analysis = tr.span_site(MIGRANT_TRACK, "analysis", "analysis")
+            self._rec_stall = tr.span_site(MIGRANT_TRACK, "stall", "stall", arg="vpn")
+            self._rec_copy = tr.span_site(MIGRANT_TRACK, "copy", "copy", arg="pages")
+            self._rec_fault_begin, self._rec_fault_end = tr.open_span_site(
+                MIGRANT_TRACK, "fault", end_keys=("kind", "prefetch", "stall")
+            )
+            self._rec_demand_req = tr.instant_site(
+                MIGRANT_TRACK, "demand_request", "vpn", "prefetch"
+            )
+            self._rec_prefetch_req = tr.instant_site(
+                MIGRANT_TRACK, "prefetch_request", "pages"
+            )
+        else:
+            self._rec_compute = None
+            self._rec_analysis = None
+            self._rec_stall = None
+            self._rec_copy = None
+            self._rec_fault_begin = None
+            self._rec_fault_end = None
+            self._rec_demand_req = None
+            self._rec_prefetch_req = None
+        # Histogram handles, resolved lazily on first observation so the
+        # registry only ever contains histograms that actually recorded
+        # (the per-fault path then skips the by-name lookup).
+        self._h_stall = None
+        self._h_prefetch = None
+        self._h_zone = None
+        self._h_locality = None
 
         # Reliable-protocol state.  ``retry`` arms a retransmission timer
         # on every demand request whose reply may be lost; it is only set
@@ -228,6 +262,7 @@ class MigrantExecutor:
             getattr(policy, "needs_conditions", True) if policy is not None else False
         )
         self._policy_window = getattr(policy, "window", None)
+        self._policy_traces = hasattr(policy, "last_trace")
         self._policy = policy
         self._analysis_time = policy.analysis_time if policy is not None else 0.0
         self._res = outcome.residency
@@ -307,6 +342,10 @@ class MigrantExecutor:
         cpu = self.node.cpu
         budget = self.budget
         tr = self._tracer
+        # Traced-only clock reads below use ``sim._now`` directly: ``now``
+        # is a trivial property over that attribute, and skipping the
+        # property call keeps tracing overhead off the untraced path.
+        rec_compute = self._rec_compute
         creates = self.workload.creates_pages
         start_time = sim.now
         self._last_fault_time = start_time
@@ -347,11 +386,11 @@ class MigrantExecutor:
                                 # and after every fault, so the generator hop is
                                 # worth spelling out.
                                 wall = acc * cpu.stretch()
-                                t0 = sim.now if tr is not None else 0.0
+                                t0 = sim._now if tr is not None else 0.0
                                 yield Timeout(wall)
                                 budget.compute += wall
-                                if tr is not None:
-                                    tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
+                                if rec_compute is not None:
+                                    rec_compute(t0, wall)
                                 cpu.charge(acc)
                                 self._compute_since_fault += acc
                                 acc = 0.0
@@ -359,11 +398,11 @@ class MigrantExecutor:
                             acc += work
                         if acc > 0.0:
                             wall = acc * cpu.stretch()
-                            t0 = sim.now if tr is not None else 0.0
+                            t0 = sim._now if tr is not None else 0.0
                             yield Timeout(wall)
                             budget.compute += wall
-                            if tr is not None:
-                                tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
+                            if rec_compute is not None:
+                                rec_compute(t0, wall)
                             cpu.charge(acc)
                             self._compute_since_fault += acc
                 # Whole-node crash check, same granularity as preemption:
@@ -442,12 +481,12 @@ class MigrantExecutor:
     def _compute(self, cpu_work: float):
         """Consume ``cpu_work`` seconds of CPU under the current load."""
         wall = cpu_work * self.node.cpu.stretch()
-        tr = self._tracer
-        t0 = self.sim.now if tr is not None else 0.0
+        rec = self._rec_compute
+        t0 = self.sim._now if rec is not None else 0.0
         yield Timeout(wall)
         self.budget.compute += wall
-        if tr is not None:
-            tr.complete(MIGRANT_TRACK, "compute", t0, wall, "compute")
+        if rec is not None:
+            rec(t0, wall)
         self.node.cpu.charge(cpu_work)
         self._compute_since_fault += cpu_work
 
@@ -463,12 +502,12 @@ class MigrantExecutor:
                 self._insert_resident(vpn)
         self.counters.pages_copied += len(copied)
         wall = len(copied) * self.hardware.page_copy_time * self._cpu.stretch()
-        tr = self._tracer
-        t0 = self.sim.now if tr is not None else 0.0
+        rec = self._rec_copy
+        t0 = self.sim._now if rec is not None else 0.0
         yield Timeout(wall)
         self.budget.copy += wall
-        if tr is not None:
-            tr.complete(MIGRANT_TRACK, "copy", t0, wall, "copy", pages=len(copied))
+        if rec is not None:
+            rec(t0, wall, len(copied))
 
     def _fault(self, vpn: int):
         sim = self.sim
@@ -477,7 +516,7 @@ class MigrantExecutor:
         now = sim.now
         tr = self._tracer
         if tr is not None:
-            tr.begin(MIGRANT_TRACK, "fault", now, vpn=vpn)
+            self._rec_fault_begin(now, "vpn", vpn)
 
         # C_i: CPU share consumed since the previous fault.
         elapsed = now - self._last_fault_time
@@ -533,11 +572,11 @@ class MigrantExecutor:
             analysis_time = self._analysis_time
             if analysis_time > 0.0:
                 wall = analysis_time * cpu.stretch()
-                t0 = sim.now if tr is not None else 0.0
+                t0 = sim._now if tr is not None else 0.0
                 yield Timeout(wall)
                 self.budget.analysis += wall
                 if tr is not None:
-                    tr.complete(MIGRANT_TRACK, "analysis", t0, wall, "analysis")
+                    self._rec_analysis(t0, wall)
                 cpu.charge(analysis_time)
             window = self._policy_window
             if (
@@ -563,9 +602,7 @@ class MigrantExecutor:
             counters.pages_demand_fetched += 1
             counters.pages_prefetched += len(prefetch)
             if tr is not None:
-                tr.instant(
-                    MIGRANT_TRACK, "demand_request", t_req, vpn=vpn, prefetch=len(prefetch)
-                )
+                self._rec_demand_req(t_req, vpn, len(prefetch))
             if self.checker is not None:
                 self.checker.on_request([vpn], prefetch)
             if self._reliable:
@@ -585,7 +622,7 @@ class MigrantExecutor:
             counters.prefetch_requests += 1
             counters.pages_prefetched += len(prefetch)
             if tr is not None:
-                tr.instant(MIGRANT_TRACK, "prefetch_request", t_req, pages=len(prefetch))
+                self._rec_prefetch_req(t_req, len(prefetch))
             if self.checker is not None:
                 self.checker.on_request([], prefetch)
             if self._reliable:
@@ -616,12 +653,12 @@ class MigrantExecutor:
                     stall = 0.0
                 if stall > 0.0:
                     self._release_cpu()
-                    t0 = sim.now if tr is not None else 0.0
+                    t0 = sim._now if tr is not None else 0.0
                     yield Timeout(stall)
                     self._acquire_cpu()
                     self.budget.stall += stall
                     if tr is not None:
-                        tr.complete(MIGRANT_TRACK, "stall", t0, stall, "stall", vpn=vpn)
+                        self._rec_stall(t0, stall, vpn)
                 res.absorb_arrivals(sim.now)
                 if res.buffered_set:
                     yield from self._copy_buffered(res)
@@ -631,23 +668,29 @@ class MigrantExecutor:
         if self.checker is not None:
             self.checker.on_fault(kind, vpn)
         if tr is not None:
-            tr.end(
-                MIGRANT_TRACK,
-                sim.now,
-                kind=kind.name,
-                prefetch=len(prefetch),
-                stall=stall,
-            )
+            self._rec_fault_end(sim._now, kind.name, len(prefetch), stall)
         metrics = self._obs_metrics
         if metrics is not None:
             if kind in (FaultKind.MAJOR, FaultKind.IN_FLIGHT_WAIT):
-                metrics.histogram("stall_s").observe(stall)
+                h = self._h_stall
+                if h is None:
+                    h = self._h_stall = metrics.histogram("stall_s")
+                h.observe(stall)
             if self._policy is not None:
-                metrics.histogram("prefetch_request_pages").observe(float(len(prefetch)))
-                last = getattr(self._policy, "last_trace", None)
+                h = self._h_prefetch
+                if h is None:
+                    h = self._h_prefetch = metrics.histogram(
+                        "prefetch_request_pages"
+                    )
+                h.observe(float(len(prefetch)))
+                last = self._policy.last_trace if self._policy_traces else None
                 if last is not None:
-                    metrics.histogram("zone_size_pages").observe(float(last.zone_size))
-                    metrics.histogram("locality_score").observe(last.score)
+                    h = self._h_zone
+                    if h is None:
+                        h = self._h_zone = metrics.histogram("zone_size_pages")
+                        self._h_locality = metrics.histogram("locality_score")
+                    h.observe(float(last.zone_size))
+                    self._h_locality.observe(last.score)
 
     # ------------------------------------------------------------------
     # the reliable remote-paging protocol (fault-injection runs only)
@@ -706,7 +749,7 @@ class MigrantExecutor:
                 wait = max(arrival - sim.now, 0.0)
             if wait > 0.0:
                 self._release_cpu()
-                t0 = sim.now if tr is not None else 0.0
+                t0 = sim._now if tr is not None else 0.0
                 yield Timeout(wait)
                 self._acquire_cpu()
                 self.budget.stall += wait

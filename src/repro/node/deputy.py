@@ -78,6 +78,11 @@ class Deputy:
         #: runner on traced runs).  Pure observer — serve spans and queue
         #: metrics only; None on default runs.
         self.obs = None
+        # Histogram handles and the serve-span recorder, resolved on
+        # first serve (see _trace_serve).
+        self._h_queue_wait = None
+        self._h_batch_pages = None
+        self._rec_serve = None
         #: Optional whole-node outage predicate ``f(t) -> bool`` wired by
         #: the scenario runtime when a :class:`repro.faults.NodeFaultPlan`
         #: is active.  Unlike a deputy crash window (the deputy pauses and
@@ -97,13 +102,26 @@ class Deputy:
         """Record one serve span + queue-wait sample (obs is armed)."""
         obs = self.obs
         if obs.tracer is not None:
-            args = {"pages": pages}
-            if seq is not None:
-                args["seq"] = seq
-            obs.tracer.complete(DEPUTY_TRACK, "serve", start, end - start, **args)
+            if seq is None:
+                rec = self._rec_serve
+                if rec is None:
+                    rec = self._rec_serve = obs.tracer.span_site(
+                        DEPUTY_TRACK, "serve", arg="pages"
+                    )
+                rec(start, end - start, pages)
+            else:
+                obs.tracer.complete(
+                    DEPUTY_TRACK, "serve", start, end - start, pages=pages, seq=seq
+                )
         if obs.metrics is not None:
-            obs.metrics.histogram("deputy_queue_wait_s").observe(start - arrival)
-            obs.metrics.histogram("deputy_batch_pages").observe(float(pages))
+            h = self._h_queue_wait
+            if h is None:
+                h = self._h_queue_wait = obs.metrics.histogram(
+                    "deputy_queue_wait_s"
+                )
+                self._h_batch_pages = obs.metrics.histogram("deputy_batch_pages")
+            h.observe(start - arrival)
+            self._h_batch_pages.observe(float(pages))
 
     # ------------------------------------------------------------------
     def _down_at(self, t: float) -> bool:

@@ -22,17 +22,18 @@ PERCENTILES = (50, 95, 99)
 class Histogram:
     """Streaming value collector with on-demand quantile summaries."""
 
-    __slots__ = ("name", "_values")
+    __slots__ = ("name", "_values", "observe")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._values: list[float] = []
+        values: list[float] = []
+        self._values = values
+        #: Recording is the registry's only hot operation — ``observe``
+        #: is the value list's own ``append``, one C call per sample.
+        self.observe = values.append
 
     def __len__(self) -> int:
         return len(self._values)
-
-    def observe(self, value: float) -> None:
-        self._values.append(value)
 
     @property
     def count(self) -> int:

@@ -1,0 +1,111 @@
+"""Generic primitives for sharding one simulation into independent epochs.
+
+A discrete-event run can be fanned out across workers only when the work
+splits into *provably non-interacting* pieces: no message, shared node, or
+RNG stream may cross the cut.  This module holds the scheduling-agnostic
+machinery — resource-based partitioning and the deterministic stream
+merge — while :mod:`repro.cluster.parallel` applies it to cluster
+scenarios (deciding *what* counts as a shared resource and *when* to fall
+back to the sequential kernel).
+
+Everything here is deterministic: components come out ordered by their
+smallest member with ascending members, and :func:`merge_streams` breaks
+key ties by (stream rank, position) so a merged log is byte-identical to
+the log a sequential run would have produced, given the shards preserved
+their within-shard order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import merge as _heapq_merge
+from typing import Callable, Hashable, Iterable, Sequence
+
+
+def connected_components(
+    n_items: int, resources: Sequence[Iterable[Hashable]]
+) -> tuple[tuple[int, ...], ...]:
+    """Partition items into components linked by shared resources.
+
+    ``resources[i]`` is the set of resource keys item ``i`` holds; two
+    items sharing any key land in the same component (transitively).
+    Union-find with path halving; output is deterministic — components
+    ordered by smallest member, members ascending.
+    """
+    if len(resources) != n_items:
+        raise ValueError(
+            f"resources has {len(resources)} entries for {n_items} items"
+        )
+    parent = list(range(n_items))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    owner: dict[Hashable, int] = {}
+    for i, keys in enumerate(resources):
+        for key in keys:
+            j = owner.setdefault(key, i)
+            if j != i:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    # Root at the smaller index: keeps find() results
+                    # independent of iteration-order accidents.
+                    if rj < ri:
+                        ri, rj = rj, ri
+                    parent[rj] = ri
+    groups: dict[int, list[int]] = {}
+    for i in range(n_items):
+        groups.setdefault(find(i), []).append(i)
+    return tuple(tuple(groups[root]) for root in sorted(groups))
+
+
+def merge_streams(
+    streams: Sequence[Sequence], key: Callable[[object], tuple] | None = None
+) -> list:
+    """Deterministic k-way merge of per-shard event streams.
+
+    Items are ordered by ``key(item)`` (e.g. ``(time, seq, node)``), with
+    ties broken by stream rank then by position within the stream — the
+    order a sequential run interleaving the shards would have produced.
+    Each stream must already be sorted by its own key.
+    """
+    if key is None:
+        key = lambda item: (item,)  # noqa: E731 - trivial identity key
+
+    decorated = (
+        [(key(item), rank, pos, item) for pos, item in enumerate(stream)]
+        for rank, stream in enumerate(streams)
+    )
+    return [item for _, _, _, item in _heapq_merge(*decorated)]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How (or whether) one run splits into independent shards.
+
+    ``shards`` always covers every item exactly once; a sequential plan is
+    a single shard with ``sequential_reason`` explaining the fallback.
+    """
+
+    #: Disjoint item-index groups, each independently simulatable.
+    shards: tuple[tuple[int, ...], ...]
+    #: Resolved worker count for the fan-out (1 = sequential).
+    jobs: int
+    #: Why the planner fell back to sequential execution (None = it
+    #: didn't; the quiesce fallback and the config gates set this).
+    sequential_reason: str | None = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this plan actually fans out."""
+        return (
+            self.sequential_reason is None
+            and self.jobs > 1
+            and len(self.shards) > 1
+        )
+
+
+__all__ = ["ShardPlan", "connected_components", "merge_streams"]

@@ -1,0 +1,221 @@
+"""Intra-run event sharding (repro.sim.shard + repro.cluster.parallel).
+
+The contract under test: sharded execution is *byte-identical* to the
+sequential kernel, and every case where identity cannot be guaranteed
+quiesces to the sequential path with the reason recorded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.parallel import (
+    component_spec,
+    execute_sharded,
+    plan_scenario_shards,
+)
+from repro.cluster.topology import MigrantSpec, NodeGraph, ScenarioSpec
+from repro.migration.ampom import AmpomMigration
+from repro.sim.shard import ShardPlan, connected_components, merge_streams
+from repro.units import mib
+from repro.workloads.synthetic import SequentialWorkload
+
+
+class TestConnectedComponents:
+    def test_shared_resource_links_transitively(self):
+        comps = connected_components(
+            4, [{"a"}, {"a", "b"}, {"b"}, {"c"}]
+        )
+        assert comps == ((0, 1, 2), (3,))
+
+    def test_disjoint_items_stay_singletons(self):
+        comps = connected_components(3, [{"x"}, {"y"}, {"z"}])
+        assert comps == ((0,), (1,), (2,))
+
+    def test_deterministic_ordering(self):
+        # Components ordered by smallest member, members ascending —
+        # independent of resource iteration order.
+        comps = connected_components(4, [{"q"}, {"p"}, {"q"}, {"p"}])
+        assert comps == ((0, 2), (1, 3))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="3 entries for 2 items"):
+            connected_components(2, [{"a"}, {"b"}, {"c"}])
+
+
+class TestMergeStreams:
+    def test_key_order_with_rank_tiebreak(self):
+        a = [(1.0, "a0"), (3.0, "a1")]
+        b = [(1.0, "b0"), (2.0, "b1")]
+        merged = merge_streams([a, b], key=lambda item: (item[0],))
+        # Equal keys: stream 0 before stream 1 — the sequential interleave.
+        assert merged == [(1.0, "a0"), (1.0, "b0"), (2.0, "b1"), (3.0, "a1")]
+
+    def test_identity_key_default(self):
+        assert merge_streams([[3, 5], [1, 4]]) == [1, 3, 4, 5]
+
+    def test_within_stream_order_preserved_on_ties(self):
+        merged = merge_streams([["x", "y"], ["z"]], key=lambda _: (0,))
+        assert merged == ["x", "y", "z"]
+
+
+def _disjoint_spec(n_migrants: int = 4) -> ScenarioSpec:
+    """``n_migrants`` AMPoM migrants on fully node-disjoint two-hop paths
+    (2 nodes each): the provably safe fan-out case."""
+    nodes = []
+    migrants = []
+    for i in range(n_migrants):
+        src, dst = f"src{i}", f"dst{i}"
+        nodes += [src, dst]
+        migrants.append(
+            MigrantSpec(
+                workload=SequentialWorkload(mib(1), sweeps=1),
+                strategy=AmpomMigration(),
+                path=(src, dst),
+                name=f"m{i}",
+            )
+        )
+    return ScenarioSpec(graph=NodeGraph(tuple(nodes)), migrants=tuple(migrants))
+
+
+def _overlapping_spec() -> ScenarioSpec:
+    """Two migrants sharing a node: remote-paging messages to the shared
+    node would cross any epoch cut, so the planner must quiesce."""
+    migrants = tuple(
+        MigrantSpec(
+            workload=SequentialWorkload(mib(1), sweeps=1),
+            strategy=AmpomMigration(),
+            path=(src, "shared"),
+            name=name,
+        )
+        for src, name in (("a", "m0"), ("b", "m1"))
+    )
+    return ScenarioSpec(graph=NodeGraph(("a", "b", "shared")), migrants=migrants)
+
+
+def _result_bytes(results) -> list[str]:
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+class TestShardPlanning:
+    def test_disjoint_migrants_fan_out(self):
+        plan = plan_scenario_shards(_disjoint_spec(), jobs=4)
+        assert plan.parallel
+        assert plan.shards == ((0,), (1,), (2,), (3,))
+        assert plan.sequential_reason is None
+
+    def test_quiesce_when_message_would_cross_epoch(self):
+        plan = plan_scenario_shards(_overlapping_spec(), jobs=4)
+        assert not plan.parallel
+        assert plan.shards == ((0, 1),)
+        assert "quiesce" in plan.sequential_reason
+
+    def test_observability_forces_sequential(self):
+        from repro.obs import Observability
+
+        plan = plan_scenario_shards(
+            _disjoint_spec(), obs=Observability.enabled(), jobs=4
+        )
+        assert not plan.parallel
+        assert "observability" in plan.sequential_reason
+
+    def test_jobs_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        plan = plan_scenario_shards(_disjoint_spec())
+        assert not plan.parallel
+        assert "disabled" in plan.sequential_reason
+
+    def test_shard_env_enables_fanout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "4")
+        plan = plan_scenario_shards(_disjoint_spec())
+        assert plan.jobs == 4
+        assert plan.parallel
+
+    def test_plan_covers_every_migrant_exactly_once(self):
+        for spec in (_disjoint_spec(3), _overlapping_spec()):
+            plan = plan_scenario_shards(spec, jobs=2)
+            flat = sorted(i for shard in plan.shards for i in shard)
+            assert flat == list(range(len(spec.migrants)))
+
+    def test_component_spec_restricts_to_reachable_subgraph(self):
+        spec = _disjoint_spec()
+        sub = component_spec(spec, (2,))
+        assert tuple(n for n in sub.graph.nodes) == ("src2", "dst2")
+        assert len(sub.migrants) == 1
+        assert sub.migrants[0].name == "m2"
+        assert all(
+            link.a in ("src2", "dst2") and link.b in ("src2", "dst2")
+            for link in sub.graph.links
+        )
+
+
+class TestShardedByteIdentity:
+    def test_disjoint_spec_parallel_equals_sequential(self):
+        from repro.cluster.session import ScenarioRuntime
+
+        spec = _disjoint_spec()
+        sequential = ScenarioRuntime(spec).execute()
+        sharded = execute_sharded(spec, jobs=4)
+        assert _result_bytes(sharded) == _result_bytes(sequential)
+
+    def test_quiesced_spec_identical_via_fallback(self):
+        from repro.cluster.session import ScenarioRuntime
+
+        spec = _overlapping_spec()
+        sequential = ScenarioRuntime(spec).execute()
+        sharded = execute_sharded(spec, jobs=4)
+        assert _result_bytes(sharded) == _result_bytes(sequential)
+
+    def test_cluster_32_sustained_counters_and_budget(self, monkeypatch):
+        """The golden-matrix sustained preset: REPRO_SHARD on vs off must
+        agree on every counter and every span-budget bucket sum."""
+        from repro.cluster.sustained import run_sustained
+        from repro.cluster.topology import build_preset
+        from repro.obs import Observability
+
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        base = run_sustained(build_preset("cluster_32", seed=3))
+        monkeypatch.setenv("REPRO_SHARD", "4")
+        sharded = run_sustained(build_preset("cluster_32", seed=3))
+        assert _result_bytes(sharded.drive.results) == _result_bytes(
+            base.drive.results
+        )
+        assert sharded.to_json() == base.to_json()
+
+        # Span budget sums (tracing quiesces the fan-out; byte identity
+        # must hold through that fallback too).
+        obs_a = Observability.enabled()
+        run_sustained(build_preset("cluster_32", seed=3), obs=obs_a)
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        obs_b = Observability.enabled()
+        run_sustained(build_preset("cluster_32", seed=3), obs=obs_b)
+        assert obs_a.tracer.bucket_sums() == obs_b.tracer.bucket_sums()
+
+    def test_cluster_32_golden_trace_byte_identical(self, tmp_path, monkeypatch):
+        from repro.check.golden import SCENARIOS, record_scenarios
+
+        sustained = [s for s in SCENARIOS if s.name.startswith("cluster_32")]
+        assert sustained, "golden matrix lost its cluster_32 scenarios"
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        record_scenarios(tmp_path / "seq", sustained, jobs=1)
+        monkeypatch.setenv("REPRO_SHARD", "4")
+        record_scenarios(tmp_path / "shard", sustained, jobs=1)
+        for s in sustained:
+            name = f"{s.name}.jsonl"
+            assert (tmp_path / "shard" / name).read_bytes() == (
+                tmp_path / "seq" / name
+            ).read_bytes()
+
+
+class TestShardPlanShape:
+    def test_sequential_plan_is_not_parallel(self):
+        plan = ShardPlan(shards=((0, 1),), jobs=1, sequential_reason="why")
+        assert not plan.parallel
+
+    def test_single_shard_never_parallel(self):
+        assert not ShardPlan(shards=((0, 1),), jobs=8).parallel
+
+    def test_multi_shard_multi_job_parallel(self):
+        assert ShardPlan(shards=((0,), (1,)), jobs=2).parallel

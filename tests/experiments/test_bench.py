@@ -38,6 +38,8 @@ class TestHarness:
             "node_churn",
             "ampom_traced",
             "cluster_sustained",
+            "batched_pipeline",
+            "cluster_300_smoke",
         }
 
     def test_traced_case_runs_with_obs_armed(self):
@@ -52,6 +54,34 @@ class TestHarness:
         record = bench.run_bench(repeats=1, cases={"noop": _noop})
         path = bench.write_record(record, tmp_path / "out" / "bench.json")
         assert json.loads(path.read_text()) == record
+
+    def test_batched_pipeline_case_scores_sequential_sweeps(self):
+        analysis = bench.CASES["batched_pipeline"]()
+        assert (analysis.score == 1.0).all()
+
+
+class TestHistory:
+    def test_append_history_accumulates_lines(self, tmp_path):
+        record = bench.run_bench(repeats=1, cases={"noop": _noop})
+        path = tmp_path / "history.jsonl"
+        bench.append_history(record, path, timestamp="2026-08-08T00:00:00+00:00")
+        bench.append_history(record, path, timestamp="2026-08-08T01:00:00+00:00")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [entry["ts"] for entry in lines] == [
+            "2026-08-08T00:00:00+00:00",
+            "2026-08-08T01:00:00+00:00",
+        ]
+        entry = lines[0]
+        assert entry["format"] == bench.BENCH_FORMAT
+        assert set(entry["cases"]) == {"noop"}
+        # Trend fields only — raw samples are deliberately dropped.
+        assert set(entry["cases"]["noop"]) == {"min_s", "score"}
+
+    def test_append_history_stamps_wallclock_when_unset(self, tmp_path):
+        record = bench.run_bench(repeats=1, cases={"noop": _noop})
+        path = bench.append_history(record, tmp_path / "h.jsonl")
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["ts"]
 
 
 def _record(scores):

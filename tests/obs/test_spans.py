@@ -12,7 +12,8 @@ from repro.obs.spans import DEPUTY_TRACK, MIGRANT_TRACK, SpanTracer, wire_track
 class TestComplete:
     def test_records_exact_duration(self):
         tr = SpanTracer()
-        span = tr.complete(MIGRANT_TRACK, "compute", 1.0, 0.25, "compute")
+        tr.complete(MIGRANT_TRACK, "compute", 1.0, 0.25, "compute")
+        (span,) = tr.spans
         assert span.dur == 0.25
         assert span.end == 1.25
         assert span.bucket == "compute"
@@ -25,21 +26,24 @@ class TestComplete:
 
     def test_args_stored(self):
         tr = SpanTracer()
-        span = tr.complete(DEPUTY_TRACK, "serve", 0.0, 0.1, pages=4)
-        assert span.args == {"pages": 4}
+        tr.complete(DEPUTY_TRACK, "serve", 0.0, 0.1, pages=4)
+        assert tr.spans[-1].args == {"pages": 4}
 
     def test_no_args_stays_none(self):
         tr = SpanTracer()
-        assert tr.complete(DEPUTY_TRACK, "serve", 0.0, 0.1).args is None
+        tr.complete(DEPUTY_TRACK, "serve", 0.0, 0.1)
+        assert tr.spans[-1].args is None
 
 
 class TestBeginEnd:
     def test_nesting_depth_per_track(self):
         tr = SpanTracer()
         tr.begin(MIGRANT_TRACK, "fault", 0.0)
-        inner = tr.complete(MIGRANT_TRACK, "stall", 0.1, 0.2, "stall")
+        tr.complete(MIGRANT_TRACK, "stall", 0.1, 0.2, "stall")
+        inner = tr.spans[-1]
         assert inner.depth == 1
-        outer = tr.end(MIGRANT_TRACK, 0.5)
+        tr.end(MIGRANT_TRACK, 0.5)
+        outer = tr.spans[-1]
         assert outer.depth == 0
         assert outer.name == "fault"
         assert outer.dur == pytest.approx(0.5)
@@ -47,8 +51,8 @@ class TestBeginEnd:
     def test_end_merges_args(self):
         tr = SpanTracer()
         tr.begin(MIGRANT_TRACK, "fault", 0.0, vpn=7)
-        span = tr.end(MIGRANT_TRACK, 1.0, kind="MAJOR")
-        assert span.args == {"vpn": 7, "kind": "MAJOR"}
+        tr.end(MIGRANT_TRACK, 1.0, kind="MAJOR")
+        assert tr.spans[-1].args == {"vpn": 7, "kind": "MAJOR"}
 
     def test_end_without_begin_raises(self):
         tr = SpanTracer()
@@ -118,6 +122,95 @@ class TestQueries:
         tr.complete(MIGRANT_TRACK, "compute", 0.1, 0.2)
         tr.complete(MIGRANT_TRACK, "stall", 0.3, 0.1)
         assert len(tr.spans_named("stall")) == 2
+
+
+class TestRecordingSites:
+    """The pre-interned per-site recorders used by the hot paths must be
+    indistinguishable from the generic API in everything they store."""
+
+    def test_span_site_matches_complete(self):
+        fast, slow = SpanTracer(), SpanTracer()
+        rec = fast.span_site(MIGRANT_TRACK, "stall", "stall", arg="vpn")
+        rec(1.0, 0.25, 7)
+        slow.complete(MIGRANT_TRACK, "stall", 1.0, 0.25, "stall", vpn=7)
+        assert fast.spans == slow.spans
+
+    def test_span_site_argless(self):
+        tr = SpanTracer()
+        tr.span_site(MIGRANT_TRACK, "compute", "compute")(0.5, 0.1)
+        (span,) = tr.spans
+        assert span.bucket == "compute"
+        assert span.args is None
+
+    def test_span_site_negative_duration_rejected(self):
+        tr = SpanTracer()
+        rec = tr.span_site(MIGRANT_TRACK, "compute", "compute")
+        with pytest.raises(SimulationError):
+            rec(1.0, -1e-9)
+
+    def test_span_site_depth_tracks_open_stack(self):
+        tr = SpanTracer()
+        rec = tr.span_site(MIGRANT_TRACK, "stall", "stall", arg="vpn")
+        tr.begin(MIGRANT_TRACK, "fault", 0.0)
+        rec(0.1, 0.2, 9)
+        assert tr.spans[-1].depth == 1
+        tr.end(MIGRANT_TRACK, 0.5)
+
+    def test_open_span_site_merges_end_keys(self):
+        tr = SpanTracer()
+        begin, end = tr.open_span_site(
+            MIGRANT_TRACK, "fault", end_keys=("kind", "prefetch", "stall")
+        )
+        begin(0.0, "vpn", 7)
+        end(1.0, "MAJOR", 4, 0.25)
+        (span,) = tr.spans
+        assert span.args == {
+            "vpn": 7, "kind": "MAJOR", "prefetch": 4, "stall": 0.25,
+        }
+        assert span.dur == 1.0
+
+    def test_open_span_site_end_before_start_raises(self):
+        tr = SpanTracer()
+        begin, end = tr.open_span_site(
+            MIGRANT_TRACK, "fault", end_keys=("kind", "prefetch", "stall")
+        )
+        begin(2.0, "vpn", 1)
+        with pytest.raises(SimulationError):
+            end(1.0, "MAJOR", 0, 0.0)
+
+    def test_instant_site_single_and_double_key(self):
+        fast, slow = SpanTracer(), SpanTracer()
+        one = fast.instant_site(MIGRANT_TRACK, "prefetch_request", "pages")
+        two = fast.instant_site(MIGRANT_TRACK, "demand_request", "vpn", "prefetch")
+        one(1.0, 4)
+        two(2.0, 9, 3)
+        slow.instant(MIGRANT_TRACK, "prefetch_request", 1.0, pages=4)
+        slow.instant(MIGRANT_TRACK, "demand_request", 2.0, vpn=9, prefetch=3)
+        assert fast.instants == slow.instants
+
+    def test_kv_fast_paths_match_kwargs(self):
+        fast, slow = SpanTracer(), SpanTracer()
+        fast.complete_kv(DEPUTY_TRACK, "serve", 0.0, 0.1, None, "pages", 4)
+        fast.begin_kv(MIGRANT_TRACK, "fault", 0.2, "vpn", 7)
+        fast.end_d(MIGRANT_TRACK, 0.9, {"kind": "MAJOR"})
+        fast.instant_d(MIGRANT_TRACK, "timeout", 1.0, {"vpn": 7})
+        slow.complete(DEPUTY_TRACK, "serve", 0.0, 0.1, pages=4)
+        slow.begin(MIGRANT_TRACK, "fault", 0.2, vpn=7)
+        slow.end(MIGRANT_TRACK, 0.9, kind="MAJOR")
+        slow.instant(MIGRANT_TRACK, "timeout", 1.0, vpn=7)
+        assert fast.spans == slow.spans
+        assert fast.instants == slow.instants
+
+    def test_ring_growth_preserves_site_recorders(self):
+        """Recorders capture the ring columns at creation; growth extends
+        the same array objects, so early recorders must stay valid."""
+        tr = SpanTracer()
+        rec = tr.span_site(MIGRANT_TRACK, "stall", "stall", arg="vpn")
+        for i in range(5000):  # > _INITIAL_CAPACITY: forces growth
+            rec(float(i), 0.5, i)
+        assert len(tr) == 5000
+        assert tr.spans[4999].args == {"vpn": 4999}
+        assert tr.bucket_sums()["stall"] == sum([0.5] * 5000)
 
 
 class TestWireHook:

@@ -223,6 +223,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "results; falls back to sequential otherwise; default "
         "$REPRO_SHARD, else 1)",
     )
+    crun_obs = crun.add_argument_group(
+        "observability",
+        "fleet telemetry & journey traces — pure observers, stdout "
+        "unchanged (see docs/OBSERVABILITY.md, \"Fleet telemetry\")",
+    )
+    crun_obs.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write per-node fleet time series as JSONL to PATH",
+    )
+    crun_obs.add_argument(
+        "--journeys",
+        metavar="PATH",
+        default=None,
+        help="write per-migrant journey traces as JSONL to PATH",
+    )
+    crun_obs.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help="write an OpenMetrics/Prometheus text snapshot to PATH",
+    )
     cfig = cluster_sub.add_parser(
         "figure",
         help="cluster-utilization / migration-count series per policy",
@@ -247,6 +270,24 @@ def _build_parser() -> argparse.ArgumentParser:
     cfig.add_argument("--seed", type=int, default=0)
     cfig.add_argument(
         "--json", action="store_true", help="emit the series as JSON"
+    )
+    cfig.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="per-node x time heatmap of one fleet-telemetry series "
+        "instead of the utilization curves (one matrix per policy)",
+    )
+    cfig.add_argument(
+        "--series",
+        default="load",
+        choices=(
+            "load",
+            "in_flight_migrations",
+            "migrations_out",
+            "gossip_staleness_s",
+            "suspected_peers",
+        ),
+        help="fleet series to plot with --heatmap (default: load)",
     )
 
     chaos = sub.add_parser(
@@ -300,6 +341,74 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--json", action="store_true", help="emit the sweep results as JSON"
+    )
+    chaos.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="EXPR",
+        help="reliability SLO evaluated per cell, e.g. 'kills<=4' or "
+        "'mean_detection_latency_s<=2' (repeatable; any breach exits 1)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="fleet observability runs (see docs/OBSERVABILITY.md)",
+        description="Observability-first entry points over the sustained "
+        "cluster runs: armed fleet telemetry, journey traces, and online "
+        "SLO monitoring with an exit-code gate.",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    oslo = obs_sub.add_parser(
+        "slo",
+        help="run a sustained preset under online SLO monitoring",
+        description="Execute one sustained-load preset with fleet "
+        "telemetry and journey traces armed, evaluate --slo thresholds "
+        "online on every sampling tick and once more against the "
+        "end-of-run journey summary, and exit 1 on any breach.",
+    )
+    oslo.add_argument(
+        "--preset",
+        choices=("cluster_32", "cluster_300"),
+        default="cluster_32",
+        help="sustained-load preset to run",
+    )
+    oslo.add_argument(
+        "--policy",
+        choices=tuple(_POLICIES),
+        default=None,
+        help="migration trigger policy override (default from the preset)",
+    )
+    oslo.add_argument("--scale", type=float, default=1 / 16)
+    oslo.add_argument("--seed", type=int, default=0)
+    oslo.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="EXPR",
+        help="threshold like 'utilization_imbalance<=8' or "
+        "'p99_freeze_s<=0.5' (repeatable; any breach exits 1)",
+    )
+    oslo.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write per-node fleet time series as JSONL to PATH",
+    )
+    oslo.add_argument(
+        "--journeys",
+        metavar="PATH",
+        default=None,
+        help="write per-migrant journey traces as JSONL to PATH",
+    )
+    oslo.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help="write an OpenMetrics/Prometheus text snapshot to PATH",
+    )
+    oslo.add_argument(
+        "--json", action="store_true", help="emit the SLO report as JSON"
     )
 
     check = sub.add_parser(
@@ -829,8 +938,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         print("cluster run: --jobs applies to sustained-load scenarios only")
         return 2
-    runtime = ScenarioRuntime(spec)
+    runtime = ScenarioRuntime(spec, obs=_cluster_obs(args))
     results = runtime.execute()
+    _write_cluster_obs(runtime.obs, args)
     faulty = runtime.injection_log is not None or runtime.node_plan is not None
     if args.json:
         import json
@@ -897,6 +1007,40 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_obs(args: argparse.Namespace):
+    """Observability bundle for `cluster run` exports (None when unarmed)."""
+    fleet = args.telemetry is not None or args.prom is not None
+    journeys = args.journeys is not None
+    if not fleet and not journeys:
+        return None
+    from .obs import Observability
+
+    return Observability.enabled(
+        trace=False, metrics=False, fleet=fleet, journeys=journeys
+    )
+
+
+def _write_cluster_obs(obs, args: argparse.Namespace) -> None:
+    """Write the requested telemetry/journey exports.  Quiet in --json
+    mode so armed stdout stays byte-identical to unarmed (the CI `cmp`
+    gate)."""
+    if obs is None:
+        return
+    quiet = bool(args.json)
+    if args.telemetry is not None and obs.fleet is not None:
+        rows = obs.fleet.write_jsonl(args.telemetry)
+        if not quiet:
+            print(f"wrote {args.telemetry} ({rows} samples)")
+    if args.journeys is not None and obs.journeys is not None:
+        rows = obs.journeys.write_jsonl(args.journeys)
+        if not quiet:
+            print(f"wrote {args.journeys} ({rows} journeys)")
+    if args.prom is not None and obs.fleet is not None:
+        obs.fleet.write_prometheus(args.prom)
+        if not quiet:
+            print(f"wrote {args.prom}")
+
+
 def _run_sustained_cli(spec, label: str, args: argparse.Namespace) -> int:
     """`cluster run` on a sustained-load scenario: arrival stream in,
     decentralized policy decisions out, executed as real migrations."""
@@ -908,8 +1052,9 @@ def _run_sustained_cli(spec, label: str, args: argparse.Namespace) -> int:
     if args.policy is not None:
         sustained = dataclasses.replace(sustained, policy=args.policy)
     driver = SustainedLoadDriver(spec.graph, sustained, config=spec.config)
-    res = driver.execute(jobs=args.jobs)
+    res = driver.execute(obs=_cluster_obs(args), jobs=args.jobs)
     report = res.report
+    _write_cluster_obs(driver.obs, args)
     if args.json:
         import json
 
@@ -947,6 +1092,8 @@ def _run_sustained_cli(spec, label: str, args: argparse.Namespace) -> int:
 def _cmd_cluster_figure(args: argparse.Namespace) -> int:
     from .experiments.figures import cluster_sustained_figure
 
+    if args.heatmap:
+        return _cmd_cluster_heatmap(args)
     data = cluster_sustained_figure(
         preset=args.preset,
         policies=tuple(args.policies),
@@ -973,6 +1120,39 @@ def _cmd_cluster_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_heatmap(args: argparse.Namespace) -> int:
+    """`cluster figure --heatmap`: one per-node x time matrix per policy."""
+    from .experiments.figures import cluster_node_heatmap
+
+    data = {
+        policy: cluster_node_heatmap(
+            preset=args.preset,
+            policy=policy,
+            scale=args.scale,
+            seed=args.seed,
+            series=args.series,
+        )
+        for policy in args.policies
+    }
+    if args.json:
+        import json
+
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    for policy, matrix in data.items():
+        times = matrix["times"]
+        print(
+            f"\n{args.preset} / {policy} — {matrix['series']} "
+            f"({len(matrix['nodes'])} nodes x {len(times)} ticks)"
+        )
+        rows = [
+            [node] + [f"{v:g}" for v in row]
+            for node, row in zip(matrix["nodes"], matrix["values"])
+        ]
+        print(format_table(["node"] + [f"{t:.1f}s" for t in times], rows))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .cluster.chaos import run_chaos
 
@@ -984,6 +1164,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         crash_rate_hz=args.crash_rate,
         mean_downtime_s=args.mean_downtime,
         horizon_s=args.horizon,
+        slos=tuple(args.slo or ()),
     )
     text = report.to_text()
     if args.json:
@@ -1001,6 +1182,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 }
                 for run, violation in report.violations
             ],
+            "slo_breaches": list(report.slo_breaches),
         }
         print(json.dumps(payload, indent=2))
     else:
@@ -1058,6 +1240,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "slo":
+        return _cmd_obs_slo(args)
+    raise AssertionError(f"unknown obs command: {args.obs_command}")
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    """`repro obs slo`: one sustained run, fully armed, SLO-gated exit."""
+    import dataclasses
+    import json
+
+    from .cluster.sustained import SustainedLoadDriver
+    from .cluster.topology import build_preset
+    from .obs import Observability
+    from .obs.slo import SLOMonitor, journey_summary_metrics
+
+    spec = build_preset(args.preset, scale=args.scale, seed=args.seed)
+    sustained = spec.sustained
+    if args.policy is not None:
+        sustained = dataclasses.replace(sustained, policy=args.policy)
+    monitor = SLOMonitor.parse(args.slo or [])
+    obs = Observability.enabled(
+        trace=False, metrics=False, fleet=True, journeys=True
+    )
+    driver = SustainedLoadDriver(spec.graph, sustained, config=spec.config)
+    driver.slo_monitor = monitor
+    res = driver.execute(obs=obs)
+    report = res.report
+    stats = driver.runtime.node_stats if driver.runtime is not None else None
+    summary = journey_summary_metrics(obs.journeys, stats=stats)
+    # The online passes saw the live series; this final pass adds the
+    # end-of-run journey/reliability metrics at t = makespan.
+    monitor.evaluate(report.makespan, summary)
+    mismatches = obs.journeys.reconcile(report=report, stats=stats)
+    _write_cluster_obs(obs, args)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "preset": args.preset,
+                    "policy": report.policy,
+                    "seed": report.seed,
+                    "makespan": report.makespan,
+                    "migrations": report.migrations,
+                    "summary_metrics": summary,
+                    "reconcile_mismatches": mismatches,
+                    "slo": monitor.report(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"{args.preset} [obs slo]: policy {report.policy}, "
+            f"seed {report.seed}, makespan {report.makespan:.4f} s, "
+            f"{report.migrations} migrations"
+        )
+        print(
+            "journeys: "
+            + ", ".join(f"{k}={v:g}" for k, v in sorted(summary.items()))
+        )
+        if mismatches:
+            for line in mismatches:
+                print(f"RECONCILE MISMATCH: {line}")
+        else:
+            print(
+                f"reconcile: {len(obs.journeys.journeys)} journeys match "
+                "the independent counters exactly"
+            )
+        print(monitor.describe())
+    if mismatches:
+        return 1
+    return 0 if monitor.ok else 1
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.export import export_figures_csv
 
@@ -1077,6 +1335,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "cluster": _cmd_cluster,
+    "obs": _cmd_obs,
     "bench": _cmd_bench,
 }
 

@@ -61,6 +61,25 @@ class ChaosRun:
     mean_detection_latency_s: float
     deep_audits: int
     error: str = ""
+    #: Mean detection latency per crashed node (empty when no node was
+    #: both crashed and detected) — surfaced in the chaos report/JSON.
+    detection_latency_by_node: dict = field(default_factory=dict)
+
+    def slo_metrics(self) -> dict[str, float]:
+        """Numeric fields as an SLO metric mapping for this cell."""
+        return {
+            "crashes": float(self.crashes),
+            "restarts": float(self.restarts),
+            "migration_aborts": float(self.migration_aborts),
+            "retargets": float(self.retargets),
+            "chain_repairs": float(self.chain_repairs),
+            "pages_rehomed": float(self.pages_rehomed),
+            "kills": float(self.kills),
+            "suspicions": float(self.suspicions),
+            "detections": float(self.detections),
+            "false_suspicions": float(self.false_suspicions),
+            "mean_detection_latency_s": self.mean_detection_latency_s,
+        }
 
     @property
     def survived(self) -> bool:
@@ -73,10 +92,14 @@ class ChaosReport:
 
     runs: list[ChaosRun] = field(default_factory=list)
     violations: list[tuple[ChaosRun, InvariantViolation]] = field(default_factory=list)
+    #: Structured SLO breach records (``{"cell": ..., "metric": ...}``)
+    #: when the sweep ran with ``slos=...``; a breached sweep is not
+    #: ``ok`` and flips ``repro chaos`` to exit 1.
+    slo_breaches: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.slo_breaches
 
     def counts(self) -> dict[str, int]:
         out = {"completed": 0, "killed": 0, "exhausted": 0}
@@ -91,13 +114,15 @@ class ChaosReport:
             f"chaos sweep: {len(self.runs)} runs — "
             f"{counts['completed']} completed, {counts['killed']} killed, "
             f"{counts['exhausted']} retry-exhausted, "
-            f"{len(self.violations)} invariant violations"
+            f"{len(self.violations)} invariant violations, "
+            f"{len(self.slo_breaches)} SLO breaches"
         )
         for run in self.runs:
             detail = (
                 f"crashes={run.crashes} aborts={run.migration_aborts} "
                 f"retargets={run.retargets} repairs={run.chain_repairs} "
-                f"kills={run.kills} detections={run.detections}"
+                f"kills={run.kills} detections={run.detections} "
+                f"det_lat={run.mean_detection_latency_s:.4f}s"
             )
             if run.error:
                 detail += f"  [{run.error}]"
@@ -108,6 +133,12 @@ class ChaosReport:
         for run, violation in self.violations:
             lines.append(
                 f"VIOLATION {run.preset}/{run.scheme}/seed={run.seed}: {violation}"
+            )
+        for breach in self.slo_breaches:
+            lines.append(
+                f"SLO BREACH {breach['cell']}: {breach['metric']}="
+                f"{breach['observed']:g} violates "
+                f"{breach['metric']}{breach['op']}{breach['limit']:g}"
             )
         return "\n".join(lines)
 
@@ -120,12 +151,15 @@ def chaos_cell(
     crash_rate_hz: float = 1.0,
     mean_downtime_s: float = 0.25,
     horizon_s: float = 3.0,
+    obs=None,
 ) -> tuple[ChaosRun, InvariantViolation | None]:
     """Run one preset/scheme cell under a seeded random crash schedule.
 
     The crash schedule is drawn per node from ``child_rng(seed,
     "nodefaults:<node>")`` inside the runtime — the same seed always
     yields the same chaos, so every cell is replayable from its record.
+    ``obs`` attaches an observability bundle (pure observers: the cell's
+    record is identical with or without it, gated by the test suite).
     """
     from .session import ScenarioRuntime
 
@@ -138,7 +172,7 @@ def chaos_cell(
         ),
         checks=CheckSpec(enabled=True),
     )
-    runtime = ScenarioRuntime(spec)
+    runtime = ScenarioRuntime(spec, obs=obs)
     outcome = "completed"
     error = ""
     violation: InvariantViolation | None = None
@@ -172,6 +206,7 @@ def chaos_cell(
         mean_detection_latency_s=stats.mean_detection_latency_s,
         deep_audits=sum(c.deep_audits for c in runtime.checkers if c is not None),
         error=error,
+        detection_latency_by_node=stats.detection_latency_by_node(),
     )
     return run, violation
 
@@ -185,14 +220,24 @@ def run_chaos(
     mean_downtime_s: float = 0.25,
     horizon_s: float = 3.0,
     progress=None,
+    slos=(),
 ) -> ChaosReport:
     """Sweep ``presets x schemes x seeds`` under seeded crash schedules.
 
     Every cell runs with :class:`repro.check.InvariantChecker` forced on;
     the defaults give 36 independent seeded schedules (the acceptance
     floor is 20).  ``progress``, if given, is called with each finished
-    :class:`ChaosRun`.
+    :class:`ChaosRun`.  ``slos`` — expressions (``"kills<=4"``) or
+    :class:`repro.obs.slo.SLOSpec` objects — are evaluated against every
+    cell's reliability metrics; breaches make the report not-``ok``.
     """
+    monitor = None
+    if slos:
+        from ..obs.slo import SLOMonitor, SLOSpec
+
+        monitor = SLOMonitor(
+            [s if isinstance(s, SLOSpec) else SLOSpec.parse(s) for s in slos]
+        )
     report = ChaosReport()
     for preset in presets:
         for scheme in schemes:
@@ -209,6 +254,12 @@ def run_chaos(
                 report.runs.append(run)
                 if violation is not None:
                     report.violations.append((run, violation))
+                if monitor is not None:
+                    cell = f"{run.preset}/{run.scheme}/seed={run.seed}"
+                    for breach in monitor.evaluate(0.0, run.slo_metrics()):
+                        report.slo_breaches.append(
+                            {"cell": cell, **breach.as_dict()}
+                        )
                 if progress is not None:
                     progress(run)
     return report

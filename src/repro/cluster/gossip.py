@@ -171,7 +171,9 @@ class GossipLoadMap:
                 if self.stats is not None:
                     self.stats.suspicions += 1
                     if plan.down(other, now):
-                        self.stats.record_detection(now - self._crash_start(other, now))
+                        self.stats.record_detection(
+                            now - self._crash_start(other, now), node=other, at=now
+                        )
                     else:
                         self.stats.false_suspicions += 1
             elif not stale and other in suspects:

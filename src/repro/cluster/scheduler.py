@@ -137,6 +137,11 @@ class ClusterScheduler:
         self.policy = policy
         self.migrations = 0
         self.total_frozen_time = 0.0
+        #: Optional decision hook ``f(decision, view)`` fired on every
+        #: placement decision with the gossip-view snapshot that justified
+        #: it (``None`` for omniscient central rounds).  Pure observer —
+        #: journey traces subscribe here; the hook must not mutate state.
+        self.on_decision = None
         #: Every placement decision in the order it was taken.
         self.decisions: list[MigrationDecision] = []
         self._pending_freeze: dict[str, float] = {}
@@ -191,11 +196,14 @@ class ClusterScheduler:
             task.remaining -= work
         task.finished_at = self.sim.now
 
-    def _migrate(self, task: Task, dest: str) -> None:
+    def _migrate(self, task: Task, dest: str, view: dict | None = None) -> None:
         freeze = self.migration_freeze(task)
-        self.decisions.append(
-            MigrationDecision(time=self.sim.now, task=task.name, src=task.node, dst=dest)
+        decision = MigrationDecision(
+            time=self.sim.now, task=task.name, src=task.node, dst=dest
         )
+        self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(decision, view)
         task.node = dest
         task.migrations += 1
         task.frozen_time += freeze
@@ -276,7 +284,7 @@ class ClusterScheduler:
             if not candidates:
                 continue
             task = policy.select_task(candidates)
-            self._migrate(task, target)
+            self._migrate(task, target, view=view)
             loads[node] -= 1
 
     def _balancer(self):
@@ -385,6 +393,12 @@ class SchedulerDriver:
         self.task_cpu_seconds = (
             None if task_cpu_seconds is None else list(task_cpu_seconds)
         )
+        #: Optional :class:`repro.obs.Observability` bundle.  Set by
+        #: :meth:`execute` (or directly, for plan-only callers such as the
+        #: figure generators): phase 1 feeds armed fleet telemetry and
+        #: journey traces, phase 2 hands the bundle to the runtime.  Pure
+        #: observers — armed plans decide identically to bare ones.
+        self.obs = None
         self.runtime = None
         if not self.placements:
             raise ConfigurationError("SchedulerDriver needs at least one placement")
@@ -457,10 +471,34 @@ class SchedulerDriver:
             node_plan=node_plan,
             policy=self._resolve_policy(),
         )
+        jlog = self.obs.journeys if self.obs is not None else None
+        if jlog is not None:
+            # One journey per task, opened at its arrival; every placement
+            # decision is recorded with the (suspicion-filtered) gossip
+            # view that justified it, so the causal chain "this view led
+            # to this move" is reconstructable per migrant.
+            for task in tasks:
+                jlog.start(
+                    task.name, task.arrival_s, node=task.node,
+                    cpu_seconds=task.cpu_seconds, memory_bytes=task.memory_bytes,
+                )
+
+            def on_decision(decision, view):
+                jlog.record(
+                    decision.task, "decision", decision.time,
+                    src=decision.src, dst=decision.dst,
+                    view=None if view is None else dict(view),
+                )
+
+            scheduler.on_decision = on_decision
         self._spawn_monitors(sim, scheduler)
         report = scheduler.run()
         if own_gossip is not None:
             own_gossip.stop()
+        if jlog is not None:
+            for name, done_at in report.per_task_completion.items():
+                if done_at == done_at:  # non-NaN: the plan completed it
+                    jlog.record(name, "plan_complete", done_at)
         return report, list(scheduler.decisions)
 
     def _make_tasks(self) -> list[Task]:
@@ -556,8 +594,19 @@ class SchedulerDriver:
         from .session import ScenarioRuntime
         from .topology import ScenarioSpec
 
+        if obs is not None:
+            self.obs = obs
+        obs = self.obs
         report, decisions = self.plan()
         migrants = self.migrant_specs(decisions)
+        jlog = obs.journeys if obs is not None else None
+        if jlog is not None:
+            # Tasks the plan completed without ever migrating terminate
+            # here; migrating tasks get their terminal state from phase 2.
+            migrating = {m.name for m in migrants}
+            for name, done_at in report.per_task_completion.items():
+                if name not in migrating and done_at == done_at:
+                    jlog.finish(name, done_at, "completed", hops=0)
         results: list = []
         self.shard_plan = None
         if migrants:

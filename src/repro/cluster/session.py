@@ -132,6 +132,18 @@ class ScenarioRuntime:
         # protected — FFA assumes a reliable backing store.
         self.node_plan: NodeFaultPlan | None = None
         self.node_stats = NodeFaultStats()
+        if self.obs is not None and self.obs.journeys is not None:
+            # Every true failure detection (probe escalation, retransmit
+            # conclusion) also lands in the journey log's cluster lane, so
+            # detections reconcile exactly against the stats counter.
+            self.node_stats.on_detection = self.obs.journeys.on_detection
+        #: Fleet-telemetry aggregation state (armed obs.fleet only): live
+        #: residencies/deputies grouped per node so one gauge per (node,
+        #: series) samples the node-wide aggregate.
+        self._fleet_residencies: dict[str, list] = {}
+        self._fleet_deputies: dict[str, list] = {}
+        self._fleet_tracked: set[tuple[str, str]] = set()
+        self._fleet_gauges = None  # lazy FleetGaugeSet (one per runtime)
         #: Optional re-targeting hook ``f(route, hop, now) -> node | None``
         #: installed by :class:`repro.cluster.scheduler.SchedulerDriver`;
         #: consulted when a migration's destination is dark.
@@ -298,7 +310,13 @@ class ScenarioRuntime:
 
         return check
 
-    def _crash_handler(self, outcome: MigrationOutcome, home: str, home_since: float):
+    def _crash_handler(
+        self,
+        outcome: MigrationOutcome,
+        home: str,
+        home_since: float,
+        journey: str | None = None,
+    ):
         """Build the executor's ``on_crash_detect`` hook: fired when the
         retry protocol concludes a remote server is dead.  Home death is
         fatal (checked first); a dead transit deputy triggers chain repair
@@ -315,7 +333,7 @@ class ScenarioRuntime:
                 # runs from the crash instant to the protocol's conclusion.
                 crash = plan.first_crash_in(home, home_since, now)
                 if crash is not None:
-                    self.node_stats.record_detection(now - crash)
+                    self.node_stats.record_detection(now - crash, node=home, at=now)
                 raise ProcessLostError(
                     f"home node {home!r} crashed at t={now:.6f}; the deputy is "
                     "gone and openMosix's home dependency kills the migrant"
@@ -327,10 +345,14 @@ class ScenarioRuntime:
                 if plan.crashed_in(node, born, now):
                     crash = plan.first_crash_in(node, born, now)
                     if crash is not None:
-                        self.node_stats.record_detection(now - crash)
+                        self.node_stats.record_detection(now - crash, node=node, at=now)
                     lost = service.repair_route(node, now)
                     self.node_stats.chain_repairs += 1
                     self.node_stats.pages_rehomed += len(lost)
+                    if journey is not None and self.obs is not None and self.obs.journeys is not None:
+                        self.obs.journeys.record(
+                            journey, "chain_repair", now, node=node, pages=len(lost)
+                        )
                     if self.injection_log is not None:
                         self.injection_log.record(
                             now,
@@ -446,8 +468,14 @@ class ScenarioRuntime:
         config = self.config
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
+        jlog = obs.journeys if obs is not None else None
         single = self._global_count == 1
         gid = self._global_ids[index] if self._global_ids is not None else index
+        # The journey key matches the spawned process name, which for
+        # sustained phase-2 migrants is the phase-1 task name — the same
+        # journey accumulates both phases' events.
+        jname = migrant.name or ("scenario" if single else f"migrant-{gid}")
+        journey = jname if jlog is not None else None
         path = migrant.path
         # Mutable copy of the path: failure-aware re-targeting may rewrite
         # a hop whose destination crashed.  Same length, same start.
@@ -457,6 +485,8 @@ class ScenarioRuntime:
         # event; staggered multi-migrant runs always schedule one.
         if not single or migrant.start_s > 0.0:
             yield Timeout(migrant.start_s)
+        if jlog is not None:
+            jlog.record(jname, "exec_start", sim.now, route=list(route))
 
         strategy = resolve_strategy(migrant.strategy)
         space = migrant.workload.setup()
@@ -479,7 +509,7 @@ class ScenarioRuntime:
             ):
                 # The process was still on its home node when that node
                 # crashed: it dies before migrating at all.
-                result = self._killed_before_migration(migrant, home)
+                result = self._killed_before_migration(migrant, home, journey=journey)
                 self.results[index] = result
                 return result
             dst = route[1]
@@ -501,7 +531,7 @@ class ScenarioRuntime:
                         "outlasts the retry budget"
                     )
                 pre_freeze += yield from self._handle_abort(
-                    route, 1, attempt - 1, "connect timeout"
+                    route, 1, attempt - 1, "connect timeout", journey=journey
                 )
                 continue
             ctx = self._context(
@@ -534,7 +564,8 @@ class ScenarioRuntime:
                     "outlasts the retry budget"
                 )
             pre_freeze += yield from self._handle_abort(
-                route, 1, attempt - 1, f"crashed {wasted:.4g}s into the freeze"
+                route, 1, attempt - 1, f"crashed {wasted:.4g}s into the freeze",
+                journey=journey,
             )
         self.outcomes[index] = outcome
         home = route[0]
@@ -566,6 +597,12 @@ class ScenarioRuntime:
                 "freeze",
                 strategy=outcome.strategy,
                 pages=outcome.pages_shipped,
+            )
+        if jlog is not None:
+            jlog.record(
+                jname, "freeze", sim.now,
+                src=route[0], dst=route[1], hop=1,
+                dur_s=outcome.freeze_time, pages=outcome.pages_shipped,
             )
         yield Timeout(outcome.freeze_time)
 
@@ -616,7 +653,9 @@ class ScenarioRuntime:
                     executor.budget.freeze += pre_freeze
                     if config.checks.enabled:
                         checker = self._make_checker(index, outcome, executor)
-                    observers = self._attach_observers(outcome, executor)
+                    observers = self._attach_observers(
+                        outcome, executor, home=home, dst=route[hop]
+                    )
                 else:
                     executor.checker = checker
                 if plan is not None:
@@ -625,7 +664,7 @@ class ScenarioRuntime:
                         home, home_since, infod,
                     )
                     executor.on_crash_detect = self._crash_handler(
-                        outcome, home, home_since
+                        outcome, home, home_since, journey=journey
                     )
                 proc = executor.start()
                 result = yield proc
@@ -655,7 +694,8 @@ class ScenarioRuntime:
                                 "outage outlasts the retry budget"
                             )
                         waited = yield from self._handle_abort(
-                            route, hop, rehop_attempt - 1, "rehop target dark"
+                            route, hop, rehop_attempt - 1, "rehop target dark",
+                            journey=journey,
                         )
                         executor.budget.freeze += waited
                 hop_ctx = self._context(
@@ -674,6 +714,12 @@ class ScenarioRuntime:
                         strategy=outcome.strategy,
                         pages=outcome.pages_shipped,
                     )
+                if jlog is not None:
+                    jlog.record(
+                        jname, "freeze", sim.now,
+                        src=src, dst=route[hop], hop=hop,
+                        dur_s=outcome.freeze_time, pages=outcome.pages_shipped,
+                    )
                 if infod is not None:
                     if single:
                         self._stop_infod(dst=src, home=route[0])
@@ -690,7 +736,7 @@ class ScenarioRuntime:
         except ProcessLostError as lost:
             result = self._teardown_killed(
                 migrant, outcome, executor, checker, observers, infod,
-                lost, run_time_base, leg_start, single,
+                lost, run_time_base, leg_start, single, journey=journey,
             )
             self.results[index] = result
             return result
@@ -707,6 +753,8 @@ class ScenarioRuntime:
             self._stop_infod(dst=route[-1], home=route[0])
         if obs is not None and obs.metrics is not None:
             self._finalize_metrics(obs.metrics, result)
+        if jlog is not None:
+            jlog.finish(jname, sim.now, "completed", hops=len(route) - 1)
         self.results[index] = result
         return result
 
@@ -747,7 +795,10 @@ class ScenarioRuntime:
     # ------------------------------------------------------------------
     # node-failure recovery paths
     # ------------------------------------------------------------------
-    def _handle_abort(self, route: list, hop: int, attempt: int, detail: str):
+    def _handle_abort(
+        self, route: list, hop: int, attempt: int, detail: str,
+        journey: str | None = None,
+    ):
         """Recover an aborted/unreachable migration hop: re-target at a
         survivor when a retarget hook is installed, otherwise wait out the
         destination's restart plus an exponential backoff.  Yields the
@@ -757,7 +808,10 @@ class ScenarioRuntime:
         plan = self.node_plan
         assert plan is not None
         dst = route[hop]
+        jlog = self.obs.journeys if self.obs is not None else None
         self.node_stats.migration_aborts += 1
+        if journey is not None and jlog is not None:
+            jlog.record(journey, "abort", sim.now, dst=dst, hop=hop, detail=detail)
         if self.injection_log is not None:
             self.injection_log.record(
                 sim.now,
@@ -769,6 +823,10 @@ class ScenarioRuntime:
         if target is not None and target != dst:
             route[hop] = target
             self.node_stats.retargets += 1
+            if journey is not None and jlog is not None:
+                jlog.record(
+                    journey, "retarget", sim.now, hop=hop, src=dst, dst=target
+                )
             if self.injection_log is not None:
                 self.injection_log.record(
                     sim.now,
@@ -786,21 +844,25 @@ class ScenarioRuntime:
         yield Timeout(wait)
         return wait
 
-    def _record_kill(self, detail: str) -> None:
+    def _record_kill(self, detail: str, journey: str | None = None) -> None:
         self.node_stats.kills += 1
+        if journey is not None and self.obs is not None and self.obs.journeys is not None:
+            self.obs.journeys.finish(journey, self.sim.now, "killed", detail=detail)
         if self.injection_log is not None:
             self.injection_log.record(
                 self.sim.now, FaultEventKind.KILL, channel="migrant", detail=detail
             )
 
-    def _killed_before_migration(self, migrant: MigrantSpec, home: str) -> ExecutionResult:
+    def _killed_before_migration(
+        self, migrant: MigrantSpec, home: str, journey: str | None = None
+    ) -> ExecutionResult:
         """The home node crashed while the process still lived on it: the
         process dies without ever migrating.  Nothing to tear down — no
         outcome, no ledgers — just a zeroed result flagged killed."""
         from ..metrics.counters import Counters
         from ..metrics.timeline import TimeBudget
 
-        self._record_kill(f"home {home} crashed before migration")
+        self._record_kill(f"home {home} crashed before migration", journey=journey)
         return ExecutionResult(
             strategy=migrant.strategy,
             workload=migrant.workload.name,
@@ -824,6 +886,7 @@ class ScenarioRuntime:
         run_time_base: float,
         leg_start: float,
         single: bool,
+        journey: str | None = None,
     ) -> ExecutionResult:
         """Clean teardown after a whole-node crash killed the migrant.
 
@@ -834,7 +897,7 @@ class ScenarioRuntime:
         settled state — a kill is a *modelled* outcome, not a checker
         violation."""
         sim = self.sim
-        self._record_kill(str(lost).splitlines()[0])
+        self._record_kill(str(lost).splitlines()[0], journey=journey)
         written_off = outcome.residency.write_off_lost()
         if written_off:
             executor.counters.prefetch_writeoffs += len(written_off)
@@ -896,9 +959,21 @@ class ScenarioRuntime:
             outcome.policy.check_oracle = DifferentialOracle()
         return checker
 
-    def _attach_observers(self, outcome: MigrationOutcome, executor: MigrantExecutor):
+    def _attach_observers(
+        self,
+        outcome: MigrationOutcome,
+        executor: MigrantExecutor,
+        home: str = "",
+        dst: str = "",
+    ):
         """Register obs gauge samplers / inspector probes with the
-        simulator; returns the observer callbacks to detach at run end."""
+        simulator; returns the observer callbacks to detach at run end.
+
+        ``home``/``dst`` name the migrant's home and first-destination
+        nodes for fleet telemetry: armed ``obs.fleet`` samples the deputy
+        queue depth under ``home`` and the resident/remote/in-flight page
+        counts under ``dst``, aggregated node-wide when several migrants
+        share a node."""
         obs = self.obs
         if obs is None:
             return ()
@@ -908,8 +983,54 @@ class ScenarioRuntime:
         sim = self.sim
         observers = []
         deputy = getattr(outcome.page_service, "deputy", None)
-        if deputy is not None:
+        if deputy is not None and (obs.tracer is not None or obs.metrics is not None):
+            # Only span/metrics instruments read deputy.obs; leaving it
+            # unset for fleet/journey-only bundles keeps the deputy's
+            # per-request hot path on its no-observer fast branch.
             deputy.obs = obs
+        fleet = obs.fleet
+        if fleet is not None:
+            # Fleet gauges aggregate every live migrant on a node, so they
+            # stay attached for the whole run (the runtime is single-use)
+            # rather than detaching with the migrant that created them.
+            # One FleetGaugeSet carries every series behind a single
+            # simulator observer so the per-event cost stays flat as
+            # migrants accumulate.
+            from ..obs.fleet import FleetGaugeSet
+
+            gauges = self._fleet_gauges
+            if gauges is None:
+                gauges = self._fleet_gauges = FleetGaugeSet(
+                    fleet, fleet.interval_s
+                )
+                sim.add_observer(gauges.on_sim_event)
+            if deputy is not None and home:
+                queue = self._fleet_deputies.setdefault(home, [])
+                queue.append(deputy)
+                if ("deputy", home) not in self._fleet_tracked:
+                    self._fleet_tracked.add(("deputy", home))
+                    gauges.add(
+                        home, "deputy_queue_depth_s",
+                        lambda q=queue: sum(
+                            max(0.0, d.busy_until - sim.now) for d in q
+                        ),
+                    )
+            if dst:
+                residencies = self._fleet_residencies.setdefault(dst, [])
+                residencies.append(outcome.residency)
+                if ("residency", dst) not in self._fleet_tracked:
+                    self._fleet_tracked.add(("residency", dst))
+                    for series, attr in (
+                        ("resident_pages", "n_mapped"),
+                        ("remote_pages", "n_remote"),
+                        ("in_flight_pages", "n_in_flight"),
+                    ):
+                        gauges.add(
+                            dst, series,
+                            lambda rs=residencies, a=attr: float(
+                                sum(getattr(r, a) for r in rs)
+                            ),
+                        )
         if deputy is not None and (obs.metrics is not None or obs.tracer is not None):
             sampler = GaugeSampler(
                 "deputy_queue_depth_s",

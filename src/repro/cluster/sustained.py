@@ -148,23 +148,106 @@ class SustainedLoadDriver(SchedulerDriver):
         self.worker_nodes = worker_nodes
         self.samples: list[UtilizationSample] = []
         self.report: SustainedReport | None = None
+        #: The shared sampling path (docs/OBSERVABILITY.md, "Fleet
+        #: telemetry"): the phase-1 ``utilization-sampler`` process drives
+        #: one :class:`repro.obs.fleet.FleetTelemetry` tick per cadence.
+        #: When ``obs.fleet`` is armed this IS the caller's collector;
+        #: otherwise a throwaway instance carries the utilization hook
+        #: alone.  Either way the sampler's event schedule is identical,
+        #: which is what keeps armed runs byte-identical to unarmed ones.
+        self.telemetry = None
+        #: Optional :class:`repro.obs.slo.SLOMonitor` evaluated online on
+        #: every sampling tick (utilization imbalance, mean load...).
+        self.slo_monitor = None
 
     # ------------------------------------------------------------------
     def _spawn_monitors(self, sim: Simulator, scheduler: ClusterScheduler) -> None:
+        from ..obs.fleet import FleetTelemetry
+
         self.samples = []
+        obs = self.obs
+        fleet = obs.fleet if obs is not None else None
+        telemetry = fleet if fleet is not None else FleetTelemetry()
+        if fleet is not None:
+            # Align the phase-2 gauge samplers to this run's cadence.
+            fleet.interval_s = self.sustained.sample_interval_s
+        self.telemetry = telemetry
+        monitor = self.slo_monitor
+        worker = self.worker_nodes
+        gossip = scheduler.gossip
+        pending = scheduler._pending_freeze
+        decisions = scheduler.decisions
+        task_by_name = {t.name: t for t in scheduler.tasks}
+        out_counts = {n: 0 for n in worker}
+        consumed = [0]  # decisions folded into out_counts so far
+        # Hoisted gossip internals: the map object is fixed for the whole
+        # run, so resolve its view/suspect tables once, not per tick.
+        views = getattr(gossip, "views", None) if gossip is not None else None
+        suspect_sets = (
+            getattr(gossip, "_suspects", None) if gossip is not None else None
+        )
+
+        def tick(t: float) -> None:
+            # The legacy utilization sample is now a thin view over the
+            # shared tick: same loads pass, same cadence, same values —
+            # SustainedReport.utilization serializes unchanged.
+            loads = scheduler._loads()
+            w = [loads[n] for n in worker]
+            busy = sum(1 for v in w if v > 0)
+            mean = sum(w) / len(w)
+            self.samples.append(
+                UtilizationSample(
+                    time=t,
+                    busy_nodes=busy,
+                    mean_load=mean,
+                    migrations=scheduler.migrations,
+                )
+            )
+            if monitor is not None:
+                monitor.evaluate(
+                    t,
+                    {
+                        "utilization_imbalance": float(max(w) - min(w)),
+                        "mean_load": mean,
+                        "busy_nodes": float(busy),
+                        "busy_fraction": busy / len(w),
+                    },
+                )
+            if fleet is None:
+                return
+            for decision in decisions[consumed[0]:]:
+                if decision.src in out_counts:
+                    out_counts[decision.src] += 1
+            consumed[0] = len(decisions)
+            in_flight = {n: 0 for n in worker}
+            for name in pending:
+                task = task_by_name.get(name)
+                if task is not None and task.node in in_flight:
+                    in_flight[task.node] += 1
+            for n in worker:
+                fleet.push(n, "load", t, float(loads[n]))
+                fleet.push(n, "in_flight_migrations", t, float(in_flight[n]))
+                fleet.push(n, "migrations_out", t, float(out_counts[n]))
+            if views is not None:
+                for n in worker:
+                    entries = views.get(n)
+                    stale = (
+                        t - min(e.sampled_at for e in entries.values())
+                        if entries
+                        else 0.0
+                    )
+                    fleet.push(n, "gossip_staleness_s", t, stale)
+            if suspect_sets is not None:
+                for n in worker:
+                    fleet.push(
+                        n, "suspected_peers", t, float(len(suspect_sets[n]))
+                    )
+
+        telemetry.add_tick_hook(tick)
 
         def sampler():
             while any(t.finished_at is None for t in scheduler.tasks):
-                loads = scheduler._loads()
-                worker = [loads[n] for n in self.worker_nodes]
-                self.samples.append(
-                    UtilizationSample(
-                        time=sim.now,
-                        busy_nodes=sum(1 for v in worker if v > 0),
-                        mean_load=sum(worker) / len(worker),
-                        migrations=scheduler.migrations,
-                    )
-                )
+                telemetry.tick(sim.now)
                 yield Timeout(self.sustained.sample_interval_s)
 
         sim.spawn(sampler(), name="utilization-sampler")

@@ -201,6 +201,30 @@ def _run_cluster_sustained(obs=None):
     return res
 
 
+def _run_cluster_sustained_telemetry(obs=None):
+    """``cluster_sustained`` with fleet telemetry + journey traces armed.
+
+    Compare this case's score against ``cluster_sustained`` to see what
+    the fleet collector, per-node gauges and journey log cost on a
+    sustained run; the committed baseline pins the armed/unarmed ratio
+    (see docs/PERFORMANCE.md and docs/OBSERVABILITY.md).  The case also
+    asserts exact journey reconciliation on every timed run.
+    """
+    from ..cluster.sustained import run_sustained
+    from ..cluster.topology import build_preset
+    from ..obs import Observability
+
+    bundle = obs if obs is not None else Observability.enabled(
+        trace=False, metrics=False, fleet=True, journeys=True
+    )
+    res = run_sustained(build_preset("cluster_32", seed=3), obs=bundle)
+    assert res.report.completed == res.report.arrivals
+    if bundle.journeys is not None:
+        mismatches = bundle.journeys.reconcile(report=res.report)
+        assert not mismatches, f"journeys failed to reconcile: {mismatches}"
+    return res
+
+
 #: name -> runner (optionally taking an Observability bundle); the first
 #: four are the same workloads as the pytest cases.
 CASES: dict[str, Callable[[], ExecutionResult]] = {
@@ -212,6 +236,7 @@ CASES: dict[str, Callable[[], ExecutionResult]] = {
     "node_churn": _run_node_churn,
     "ampom_traced": _run_ampom_traced,
     "cluster_sustained": _run_cluster_sustained,
+    "cluster_sustained_telemetry": _run_cluster_sustained_telemetry,
     "batched_pipeline": _run_batched_pipeline,
     "cluster_300_smoke": _run_cluster_300_smoke,
 }

@@ -421,6 +421,46 @@ def cluster_sustained_figure(
     return out
 
 
+def cluster_node_heatmap(
+    preset: str = "cluster_32",
+    policy: str = "threshold",
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    series: str = "load",
+) -> dict:
+    """Per-node x time matrix of one fleet-telemetry series.
+
+    Runs phase 1 of one sustained-load preset with ``repro.obs.fleet``
+    armed and reshapes the sampled series (``load``,
+    ``in_flight_migrations``, ``migrations_out``, ``gossip_staleness_s``,
+    ``suspected_peers``) into ``{"times": [...], "nodes": [...],
+    "values": [[row per node]]}`` — the `repro cluster figure --heatmap`
+    payload.  Deterministic per seed, like every other figure.
+    """
+    import dataclasses
+
+    from ..cluster.sustained import SustainedLoadDriver
+    from ..cluster.topology import build_preset
+    from ..obs import Observability
+
+    spec = build_preset(preset, scale=scale, seed=seed)
+    sustained = dataclasses.replace(spec.sustained, policy=policy)
+    driver = SustainedLoadDriver(spec.graph, sustained, config=spec.config)
+    driver.obs = Observability.enabled(trace=False, metrics=False, fleet=True)
+    driver.plan()
+    fleet = driver.telemetry
+    nodes = [n for n in fleet.nodes() if fleet.series(n, series)]
+    times = sorted({t for n in nodes for t, _ in fleet.series(n, series)})
+    index = {t: i for i, t in enumerate(times)}
+    values = []
+    for node in nodes:
+        row = [0.0] * len(times)
+        for t, v in fleet.series(node, series):
+            row[index[t]] = v
+        values.append(row)
+    return {"series": series, "times": times, "nodes": nodes, "values": values}
+
+
 # ----------------------------------------------------------------------
 # headline claims (abstract / sections 5.2-5.4)
 # ----------------------------------------------------------------------

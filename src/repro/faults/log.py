@@ -127,7 +127,7 @@ class NodeFaultStats:
     event count; ``mean_detection_latency_s`` divides them at read time.
     """
 
-    __slots__ = (
+    _COUNTERS = (
         "crashes",
         "restarts",
         "suspicions",
@@ -144,24 +144,64 @@ class NodeFaultStats:
         "pages_abort_written_off",
     )
 
+    __slots__ = _COUNTERS + ("_node_detections", "on_detection")
+
     def __init__(self) -> None:
-        for name in self.__slots__:
+        for name in self._COUNTERS:
             setattr(self, name, 0.0 if name.endswith("_s") else 0)
+        #: Per-node detection (count, latency total), keyed by the node
+        #: whose crash was detected ("" when the site knows no node).
+        self._node_detections: dict[str, list[float]] = {}
+        #: Optional sink ``f(latency_s, node=..., at=...)`` notified on
+        #: every detection — journey logs subscribe here so detection
+        #: events reconcile exactly (==) against ``detections``.
+        self.on_detection = None
 
     # -- recording ------------------------------------------------------
-    def record_detection(self, latency_s: float) -> None:
-        """One true failure detection, ``latency_s`` after the crash."""
+    def record_detection(
+        self, latency_s: float, node: str = "", at: float | None = None
+    ) -> None:
+        """One true failure detection, ``latency_s`` after the crash.
+
+        ``node`` names the crashed node when the detection site knows it;
+        ``at`` is the simulated detection time (forwarded to the sink).
+        """
         if latency_s < 0:
             raise ValueError(f"detection latency must be non-negative: {latency_s}")
         self.detections += 1
         self.detection_latency_total_s += latency_s
+        if node:
+            entry = self._node_detections.setdefault(node, [0, 0.0])
+            entry[0] += 1
+            entry[1] += latency_s
+        if self.on_detection is not None:
+            self.on_detection(latency_s, node=node, at=at)
 
     # -- reading --------------------------------------------------------
     @property
     def mean_detection_latency_s(self) -> float:
         return self.detection_latency_total_s / self.detections if self.detections else 0.0
 
+    def detection_latency_by_node(self) -> dict[str, float]:
+        """Mean detection latency per crashed node (sorted by node)."""
+        return {
+            node: total / count
+            for node, (count, total) in sorted(self._node_detections.items())
+            if count
+        }
+
+    def detections_by_node(self) -> dict[str, int]:
+        """Detection counts per crashed node (sorted by node)."""
+        return {
+            node: int(count)
+            for node, (count, _) in sorted(self._node_detections.items())
+        }
+
     def as_dict(self) -> dict[str, float]:
-        out = {name: getattr(self, name) for name in self.__slots__}
+        out = {name: getattr(self, name) for name in self._COUNTERS}
         out["mean_detection_latency_s"] = self.mean_detection_latency_s
+        by_node = self.detection_latency_by_node()
+        if by_node:
+            out["detection_latency_by_node"] = by_node
+            out["detections_by_node"] = self.detections_by_node()
         return out

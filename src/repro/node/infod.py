@@ -138,7 +138,9 @@ class InfoDaemon:
                 self._suspicions_recorded += 1
                 if self.stats is not None:
                     self.stats.suspicions += 1
-                    self.stats.record_detection(now - self._crash_start(now))
+                    self.stats.record_detection(
+                        now - self._crash_start(now), node=self.home, at=now
+                    )
             return
         if self.suspected:
             self.suspected = False

@@ -10,7 +10,12 @@ run can attach:
   locality score ``S``), counters (prefetch accuracy/waste) and sampled
   gauges (deputy queue depth);
 * :class:`RunInspector` — periodic live snapshots via the simulator's
-  observer hook.
+  observer hook;
+* :class:`FleetTelemetry` — cluster-wide per-node time series on the
+  sustained sampling cadence, with JSONL/OpenMetrics exporters;
+* :class:`JourneyLog` — causal per-migrant journey traces (arrival,
+  policy decision + gossip snapshot, freezes, recoveries, terminal
+  state) that reconcile exactly against the run's counters.
 
 All three are pure observers: they read the simulated clock and model
 state but never schedule events or mutate anything, so instrumented runs
@@ -25,9 +30,24 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .flame import flame_rows, flame_summary
+from .fleet import (
+    DEFAULT_RING_CAPACITY,
+    FleetGauge,
+    FleetGaugeSet,
+    FleetTelemetry,
+    SeriesRing,
+)
 from .inspector import GaugeSampler, RunInspector
+from .journeys import (
+    Journey,
+    JourneyEvent,
+    JourneyLog,
+    journey_trace_events,
+    write_journeys_perfetto,
+)
 from .metrics import Histogram, MetricsRegistry
 from .perfetto import to_perfetto, trace_events, write_perfetto, write_spans_jsonl
+from .slo import SLOBreach, SLOMonitor, SLOSpec, journey_summary_metrics
 from .spans import DEPUTY_TRACK, MIGRANT_TRACK, Span, SpanTracer, wire_track
 
 #: Default simulated-time period of the gauge samplers (deputy queue depth).
@@ -41,6 +61,12 @@ class Observability:
     tracer: SpanTracer | None = None
     metrics: MetricsRegistry | None = None
     inspector: RunInspector | None = None
+    #: Cluster-wide per-node time series (docs/OBSERVABILITY.md,
+    #: "Fleet telemetry"); sampled on the sustained driver's cadence.
+    fleet: FleetTelemetry | None = None
+    #: Causal per-migrant journey traces (arrival -> decision -> hops ->
+    #: completion/kill), reconcilable against the run's counters.
+    journeys: JourneyLog | None = None
     #: Simulated seconds between gauge samples (deputy queue depth etc.).
     sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S
 
@@ -52,6 +78,8 @@ class Observability:
         inspect_interval_s: float | None = None,
         echo: Callable[[str], None] | None = None,
         sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+        fleet: bool = False,
+        journeys: bool = False,
     ) -> "Observability":
         """Build a bundle with the requested instruments armed."""
         return cls(
@@ -62,6 +90,8 @@ class Observability:
                 if inspect_interval_s is not None
                 else None
             ),
+            fleet=FleetTelemetry() if fleet else None,
+            journeys=JourneyLog() if journeys else None,
             sample_interval_s=sample_interval_s,
         )
 
@@ -72,25 +102,41 @@ class Observability:
             self.tracer is not None
             or self.metrics is not None
             or self.inspector is not None
+            or self.fleet is not None
+            or self.journeys is not None
         )
 
 
 __all__ = [
+    "DEFAULT_RING_CAPACITY",
     "DEFAULT_SAMPLE_INTERVAL_S",
     "DEPUTY_TRACK",
+    "FleetGauge",
+    "FleetGaugeSet",
+    "FleetTelemetry",
     "GaugeSampler",
     "Histogram",
+    "Journey",
+    "JourneyEvent",
+    "JourneyLog",
     "MIGRANT_TRACK",
     "MetricsRegistry",
     "Observability",
     "RunInspector",
+    "SLOBreach",
+    "SLOMonitor",
+    "SLOSpec",
+    "SeriesRing",
     "Span",
     "SpanTracer",
     "flame_rows",
     "flame_summary",
+    "journey_summary_metrics",
+    "journey_trace_events",
     "to_perfetto",
     "trace_events",
     "wire_track",
+    "write_journeys_perfetto",
     "write_perfetto",
     "write_spans_jsonl",
 ]

@@ -1,0 +1,311 @@
+"""Migration journey traces: one causal record per migrant.
+
+A *journey* links everything that happens to one migrant across both
+phases of a sustained run — arrival, every policy decision (with the
+gossip-view snapshot that justified it), each freeze/transfer hop, every
+abort/re-target/chain-repair recovery, and the terminal completion or
+kill.  The per-site instruments (span tracer, fault stats) each see one
+slice of that story; the :class:`JourneyLog` stitches the slices into a
+single causal chain keyed by the migrant's name.
+
+Recording is append-only and never touches the simulator, so journeys are
+pure observers: armed runs stay byte-identical to unarmed ones.  Because
+every event is recorded at the exact site that bumps the corresponding
+:class:`repro.faults.log.NodeFaultStats` counter (or appends the
+:class:`repro.cluster.sustained.SustainedReport` decision), the log can
+*reconcile* — assert exact ``==`` equality between its event counts and
+the independent counters (:meth:`JourneyLog.reconcile`).
+
+Exports: JSONL (one journey per line) and Perfetto ``trace_event`` JSON
+with flow arrows (``ph`` ``s``/``t``/``f``) chaining each journey's stage
+slices, mergeable into a :class:`repro.obs.spans.SpanTracer` trace via
+``to_perfetto(tracer, journeys=log)``.  See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Perfetto process id for the journey lanes — far above the tracer's
+#: first-appearance pids so merged traces never collide.
+JOURNEY_PID = 9001
+
+#: Simulated seconds -> trace_event microseconds (matches obs.perfetto).
+_US = 1e6
+
+
+@dataclass(slots=True)
+class JourneyEvent:
+    """One step of a journey: ``(t, kind, details)``."""
+
+    t: float
+    kind: str
+    args: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        record = {"t": self.t, "kind": self.kind}
+        if self.args:
+            record.update(self.args)
+        return record
+
+
+@dataclass(slots=True)
+class Journey:
+    """The causal record of one migrant, arrival to terminal state."""
+
+    task: str
+    events: list[JourneyEvent] = field(default_factory=list)
+    #: ``""`` while in flight; ``planned`` / ``completed`` / ``killed``.
+    outcome: str = ""
+    end_t: float | None = None
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def arrival_t(self) -> float | None:
+        return self.events[0].t if self.events else None
+
+    @property
+    def wall_s(self) -> float | None:
+        """Arrival-to-terminal wall time in simulated seconds."""
+        if self.end_t is None or not self.events:
+            return None
+        return self.end_t - self.events[0].t
+
+    def as_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "outcome": self.outcome,
+            "end_t": self.end_t,
+            "events": [e.as_dict() for e in self.events],
+        }
+
+
+class JourneyLog:
+    """Collects journeys plus cluster-level events (crash detections)."""
+
+    __slots__ = ("journeys", "cluster_events")
+
+    def __init__(self) -> None:
+        #: task name -> journey, in first-recording order.
+        self.journeys: dict[str, Journey] = {}
+        #: Events not owned by one migrant (e.g. ``crash_detect``).
+        self.cluster_events: list[JourneyEvent] = []
+
+    # -- recording -----------------------------------------------------
+    def start(self, task: str, t: float, **args) -> Journey:
+        """Open a journey with its ``arrival`` event (idempotent)."""
+        journey = self.journeys.get(task)
+        if journey is None:
+            journey = self.journeys[task] = Journey(task)
+            journey.events.append(JourneyEvent(t, "arrival", args))
+        return journey
+
+    def record(self, task: str, kind: str, t: float, **args) -> None:
+        """Append one event; opens the journey lazily for runs that skip
+        the arrival phase (plain ``repro cluster run`` scenarios)."""
+        journey = self.journeys.get(task)
+        if journey is None:
+            journey = self.journeys[task] = Journey(task)
+        journey.events.append(JourneyEvent(t, kind, args))
+
+    def finish(self, task: str, t: float, outcome: str, **args) -> None:
+        """Record the terminal event and seal the journey's outcome."""
+        self.record(task, outcome, t, **args)
+        journey = self.journeys[task]
+        journey.outcome = outcome
+        journey.end_t = t
+
+    def record_cluster(self, kind: str, t: float, **args) -> None:
+        self.cluster_events.append(JourneyEvent(t, kind, args))
+
+    def on_detection(self, latency_s: float, node: str = "", at: float | None = None) -> None:
+        """Detection sink for :class:`repro.faults.log.NodeFaultStats`."""
+        self.record_cluster(
+            "crash_detect", at if at is not None else 0.0,
+            node=node, latency_s=latency_s,
+        )
+
+    # -- reading -------------------------------------------------------
+    def count(self, kind: str) -> int:
+        """Total events of ``kind`` across every journey."""
+        return sum(j.count(kind) for j in self.journeys.values())
+
+    def count_cluster(self, kind: str) -> int:
+        return sum(1 for e in self.cluster_events if e.kind == kind)
+
+    def freeze_seconds(self) -> list[float]:
+        """Duration of every successful freeze across all journeys."""
+        return [
+            float(e.args["dur_s"])
+            for j in self.journeys.values()
+            for e in j.events
+            if e.kind == "freeze"
+        ]
+
+    def wall_times(self) -> list[float]:
+        """Arrival-to-terminal wall time of every sealed journey."""
+        return [j.wall_s for j in self.journeys.values() if j.wall_s is not None]
+
+    # -- reconciliation ------------------------------------------------
+    def reconcile(self, report=None, stats=None) -> list[str]:
+        """Exact ``==`` cross-check against the independent counters.
+
+        Returns a list of mismatch descriptions (empty = reconciled).
+        ``report`` is a :class:`repro.cluster.sustained.SustainedReport`;
+        ``stats`` a :class:`repro.faults.log.NodeFaultStats`.  Each pair
+        is compared with integer equality, never tolerance.
+        """
+        mismatches: list[str] = []
+
+        def check(label: str, ours: int, theirs: int) -> None:
+            if ours != theirs:
+                mismatches.append(f"{label}: journeys={ours} counter={theirs}")
+
+        if report is not None:
+            check("arrivals", self.count("arrival"), report.arrivals)
+            check("migrations", self.count("decision"), report.migrations)
+            check("plan completions", self.count("plan_complete"), report.completed)
+        if stats is not None:
+            check("migration aborts", self.count("abort"), stats.migration_aborts)
+            check("retargets", self.count("retarget"), stats.retargets)
+            check("chain repairs", self.count("chain_repair"), stats.chain_repairs)
+            check("kills", self.count("killed"), stats.kills)
+            check("detections", self.count_cluster("crash_detect"), stats.detections)
+        return mismatches
+
+    # -- exporters -----------------------------------------------------
+    def to_jsonl_lines(self) -> list[str]:
+        """One compact JSON object per journey (plus one ``cluster`` row)."""
+        lines = [
+            json.dumps(j.as_dict(), separators=(",", ":"), sort_keys=True)
+            for j in self.journeys.values()
+        ]
+        if self.cluster_events:
+            lines.append(
+                json.dumps(
+                    {"task": None, "events": [e.as_dict() for e in self.cluster_events]},
+                    separators=(",", ":"),
+                    sort_keys=True,
+                )
+            )
+        return lines
+
+    def write_jsonl(self, path: str) -> int:
+        lines = self.to_jsonl_lines()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+
+def journey_trace_events(log: JourneyLog) -> list[dict]:
+    """Perfetto events for the journey lanes: one thread per journey under
+    a shared ``journeys`` process, stage slices between consecutive events,
+    and flow arrows (``ph`` ``s``/``t``/``f``) chaining each journey's
+    stages so the UI draws the causal arc arrival -> ... -> terminal."""
+    events: list[dict] = [
+        {"ph": "M", "pid": JOURNEY_PID, "name": "process_name", "args": {"name": "journeys"}}
+    ]
+    body: list[dict] = []
+    for tid, journey in enumerate(log.journeys.values(), start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": JOURNEY_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": journey.task},
+            }
+        )
+        steps = journey.events
+        end_t = journey.end_t if journey.end_t is not None else (
+            steps[-1].t if steps else 0.0
+        )
+        n = len(steps)
+        for i, step in enumerate(steps):
+            until = steps[i + 1].t if i + 1 < n else end_t
+            slice_event = {
+                "ph": "X",
+                "pid": JOURNEY_PID,
+                "tid": tid,
+                "ts": step.t * _US,
+                "dur": max(until - step.t, 0.0) * _US,
+                "name": step.kind,
+                "cat": "journey",
+            }
+            if step.args:
+                slice_event["args"] = _jsonable(step.args)
+            body.append(slice_event)
+            flow_ph = "s" if i == 0 else ("f" if i == n - 1 else "t")
+            if n > 1:
+                flow = {
+                    "ph": flow_ph,
+                    "pid": JOURNEY_PID,
+                    "tid": tid,
+                    "ts": step.t * _US,
+                    "id": tid,
+                    "name": "journey",
+                    "cat": "journey",
+                }
+                if flow_ph == "f":
+                    flow["bp"] = "e"
+                body.append(flow)
+    if log.cluster_events:
+        tid = len(log.journeys) + 1
+        events.append(
+            {
+                "ph": "M",
+                "pid": JOURNEY_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": "cluster"},
+            }
+        )
+        for step in log.cluster_events:
+            body.append(
+                {
+                    "ph": "i",
+                    "pid": JOURNEY_PID,
+                    "tid": tid,
+                    "ts": step.t * _US,
+                    "name": step.kind,
+                    "s": "t",
+                    "cat": "journey",
+                    "args": _jsonable(step.args),
+                }
+            )
+    body.sort(key=lambda e: e["ts"])
+    return events + body
+
+
+def _jsonable(args: dict) -> dict:
+    """Coerce event details to JSON-safe values (views are str->int)."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, dict):
+            out[key] = {str(k): v for k, v in value.items()}
+        elif isinstance(value, (list, tuple)):
+            out[key] = [str(v) for v in value]
+        else:
+            out[key] = value
+    return out
+
+
+def write_journeys_perfetto(log: JourneyLog, path: str) -> None:
+    """Standalone Perfetto document of the journey lanes."""
+    doc = {"traceEvents": journey_trace_events(log), "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc) + "\n")
+
+
+__all__ = [
+    "JOURNEY_PID",
+    "Journey",
+    "JourneyEvent",
+    "JourneyLog",
+    "journey_trace_events",
+    "write_journeys_perfetto",
+]

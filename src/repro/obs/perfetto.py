@@ -110,16 +110,28 @@ def trace_events(tracer: SpanTracer) -> list[dict]:
     return events + body
 
 
-def to_perfetto(tracer: SpanTracer) -> dict:
-    """The full JSON document (``traceEvents`` + display unit)."""
-    return {"traceEvents": trace_events(tracer), "displayTimeUnit": "ms"}
+def to_perfetto(tracer: SpanTracer, journeys=None) -> dict:
+    """The full JSON document (``traceEvents`` + display unit).
+
+    ``journeys`` optionally merges a :class:`repro.obs.journeys.JourneyLog`
+    into the same document: the journey lanes live under their own
+    process (pid 9001, far above the tracer's first-appearance pids) with
+    flow arrows chaining each migrant's stages, so one Perfetto view
+    shows the span tracks and the causal journey arcs side by side.
+    """
+    events = trace_events(tracer)
+    if journeys is not None:
+        from .journeys import journey_trace_events
+
+        events = events + journey_trace_events(journeys)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_perfetto(tracer: SpanTracer, path: Path | str) -> Path:
+def write_perfetto(tracer: SpanTracer, path: Path | str, journeys=None) -> Path:
     """Serialize the trace to ``path``; returns the written path."""
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(to_perfetto(tracer)) + "\n")
+    out.write_text(json.dumps(to_perfetto(tracer, journeys=journeys)) + "\n")
     return out
 
 

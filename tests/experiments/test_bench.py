@@ -38,6 +38,7 @@ class TestHarness:
             "node_churn",
             "ampom_traced",
             "cluster_sustained",
+            "cluster_sustained_telemetry",
             "batched_pipeline",
             "cluster_300_smoke",
         }

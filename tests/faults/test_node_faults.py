@@ -216,6 +216,23 @@ def test_record_detection_rejects_negative():
         NodeFaultStats().record_detection(-1e-9)
 
 
+def test_as_dict_surfaces_per_node_detection_latency():
+    """`cluster run --json` embeds as_dict() verbatim, so the per-node
+    detection latencies must ride it whenever a detection was recorded."""
+    stats = NodeFaultStats()
+    assert "detection_latency_by_node" not in stats.as_dict()
+    stats.record_detection(0.2, node="home")
+    stats.record_detection(0.4, node="home")
+    stats.record_detection(0.3, node="n1")
+    out = stats.as_dict()
+    assert out["mean_detection_latency_s"] == pytest.approx(0.3)
+    assert out["detection_latency_by_node"] == {
+        "home": pytest.approx(0.3),
+        "n1": pytest.approx(0.3),
+    }
+    assert out["detections_by_node"] == {"home": 2, "n1": 1}
+
+
 @given(
     latencies=st.lists(
         st.floats(min_value=0.0, max_value=10.0), min_size=0, max_size=30

@@ -46,6 +46,28 @@ class TestRunInspector:
         assert lines[0].startswith("[inspect]")
         assert "x=7" in lines[0]
 
+    def test_zero_duration_run_sees_no_events(self):
+        insp = RunInspector(1.0)
+        assert insp.snapshots == []
+        assert insp.events_seen == 0
+
+    def test_interval_longer_than_run_snapshots_once(self):
+        insp = RunInspector(100.0)
+        for t in (0.0, 0.5, 1.0, 2.0):
+            insp.on_sim_event(t)
+        assert [s["t"] for s in insp.snapshots] == [0.0]
+        assert insp.events_seen == 4
+
+    def test_snapshots_deterministic_across_identical_runs(self):
+        def drive():
+            insp = RunInspector(0.5)
+            insp.add_probe("v", lambda: 3.0)
+            for t in (0.0, 0.3, 0.6, 1.7, 1.7, 2.0):
+                insp.on_sim_event(t)
+            return insp.snapshots
+
+        assert drive() == drive()
+
 
 class TestGaugeSampler:
     def test_writes_metrics_and_counter_track(self):
@@ -65,3 +87,15 @@ class TestGaugeSampler:
     def test_interval_must_be_positive(self):
         with pytest.raises(ValueError):
             GaugeSampler("q", "t", lambda: 0.0, -1.0)
+
+    def test_zero_duration_run_records_nothing(self):
+        metrics = MetricsRegistry()
+        GaugeSampler("queue", "t", lambda: 1.0, 0.5, metrics=metrics)
+        assert metrics.gauge_samples("queue") == []
+
+    def test_interval_longer_than_run_samples_once(self):
+        metrics = MetricsRegistry()
+        sampler = GaugeSampler("queue", "t", lambda: 1.0, 100.0, metrics=metrics)
+        for t in (0.0, 0.5, 1.0, 2.0):
+            sampler.on_sim_event(t)
+        assert metrics.gauge_samples("queue") == [(0.0, 1.0)]

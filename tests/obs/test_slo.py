@@ -1,0 +1,145 @@
+"""Online SLO monitors: spec parsing, evaluation, gates, summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import (
+    MAX_BREACHES_PER_SPEC,
+    SLOMonitor,
+    SLOSpec,
+    journey_summary_metrics,
+    percentile,
+)
+
+
+class TestSLOSpec:
+    def test_parse_upper_bound(self):
+        spec = SLOSpec.parse("p99_freeze_s<=0.5")
+        assert spec == SLOSpec(metric="p99_freeze_s", op="<=", limit=0.5)
+        assert spec.name == "p99_freeze_s<=0.5"
+        assert spec.ok(0.5)
+        assert not spec.ok(0.50001)
+
+    def test_parse_lower_bound(self):
+        spec = SLOSpec.parse("busy_fraction>=0.25")
+        assert spec.ok(0.3)
+        assert not spec.ok(0.2)
+
+    @pytest.mark.parametrize(
+        "expr", ["", "nolimit", "x<5", "x==1", "x<=notanumber", "<=3"]
+    )
+    def test_parse_rejects_malformed(self, expr):
+        with pytest.raises(ConfigurationError):
+            SLOSpec.parse(expr)
+
+    def test_parse_tolerates_whitespace(self):
+        assert SLOSpec.parse(" kills <= 3 ").name == "kills<=3"
+
+
+class TestSLOMonitor:
+    def test_evaluate_records_breaches(self):
+        monitor = SLOMonitor.parse(["mean_load<=2.0"])
+        assert monitor.evaluate(0.0, {"mean_load": 1.0}) == []
+        breaches = monitor.evaluate(1.0, {"mean_load": 3.5})
+        assert len(breaches) == 1
+        assert not monitor.ok
+        breach = breaches[0]
+        assert breach.as_dict() == {
+            "t": 1.0,
+            "metric": "mean_load",
+            "op": "<=",
+            "limit": 2.0,
+            "observed": 3.5,
+        }
+        assert "mean_load" in breach.describe()
+
+    def test_absent_metrics_are_skipped(self):
+        monitor = SLOMonitor.parse(["kills<=0"])
+        assert monitor.evaluate(0.0, {"mean_load": 9.9}) == []
+        assert monitor.ok
+
+    def test_retention_capped_per_spec(self):
+        monitor = SLOMonitor.parse(["kills<=0"])
+        (spec,) = monitor.specs
+        for t in range(MAX_BREACHES_PER_SPEC + 50):
+            monitor.evaluate(float(t), {"kills": 1.0})
+        assert monitor.breach_count(spec) == MAX_BREACHES_PER_SPEC + 50
+        assert len(monitor.breaches) == MAX_BREACHES_PER_SPEC
+
+    def test_report_and_describe(self):
+        monitor = SLOMonitor.parse(["kills<=0", "mean_load<=10"])
+        monitor.evaluate(1.0, {"kills": 2.0, "mean_load": 1.0})
+        report = monitor.report()
+        assert report["ok"] is False
+        assert report["breach_counts"] == {"kills<=0": 1}
+        assert report["specs"] == ["kills<=0", "mean_load<=10"]
+        assert report["evaluations"] == 1
+        text = monitor.describe()
+        assert "kills<=0" in text
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+
+class TestJourneySummaryMetrics:
+    def test_summary_from_sustained_run(self):
+        from repro.cluster.sustained import run_sustained
+        from repro.cluster.topology import build_preset
+        from repro.obs import Observability
+
+        obs = Observability.enabled(
+            trace=False, metrics=False, fleet=False, journeys=True
+        )
+        res = run_sustained(build_preset("cluster_32", seed=3), obs=obs)
+        summary = journey_summary_metrics(obs.journeys)
+        assert summary["journeys"] == res.report.arrivals
+        assert summary["migrations"] == res.report.migrations
+        assert summary["max_freeze_s"] >= summary["p99_freeze_s"] >= 0.0
+        assert summary["journey_wall_s_p99"] > 0.0
+
+
+class TestChaosSLOGate:
+    def test_guaranteed_breach_fails_the_report(self):
+        from repro.cluster.chaos import run_chaos
+
+        report = run_chaos(
+            presets=["pair"], schemes=["AMPoM"], seeds=[0], slos=["crashes<=-1"]
+        )
+        assert not report.ok
+        (breach,) = report.slo_breaches
+        assert breach["cell"] == "pair/AMPoM/seed=0"
+        assert breach["metric"] == "crashes"
+        assert breach["limit"] == -1.0
+        assert "SLO BREACH" in report.to_text()
+
+    def test_no_slos_means_no_gate_change(self):
+        from repro.cluster.chaos import run_chaos
+
+        report = run_chaos(presets=["pair"], schemes=["AMPoM"], seeds=[0])
+        assert report.slo_breaches == []
+        assert report.ok
+
+
+class TestOnlineSustainedMonitor:
+    def test_driver_evaluates_slos_on_every_tick(self):
+        from repro.cluster.sustained import SustainedLoadDriver
+        from repro.cluster.topology import build_preset
+
+        spec = build_preset("cluster_32", seed=3)
+        driver = SustainedLoadDriver(spec.graph, spec.sustained, config=spec.config)
+        monitor = SLOMonitor.parse(["mean_load<=-1"])  # breaches every tick
+        driver.slo_monitor = monitor
+        driver.execute()
+        (slo,) = monitor.specs
+        assert monitor.breach_count(slo) == len(driver.samples)
+        assert not monitor.ok

@@ -3,12 +3,12 @@
 Pairs AMPoM's lightweight freeze with baseline policies (section 5.3
 likens AMPoM's fallback to a fixed-size read-ahead).  The adaptive policy
 should match the best fixed policy on STREAM without the fixed policy's
-waste on RandomAccess.
+waste on RandomAccess.  Policies are addressed by their registry names
+(see repro.core.policy.POLICIES and docs/POLICIES.md).
 """
 
 from __future__ import annotations
 
-from repro.core.policy import FixedReadAheadPolicy, LinuxReadAheadPolicy
 from repro.experiments import figures
 from repro.cluster.runner import MigrationRun
 from repro.migration.ampom import AmpomMigration
@@ -17,27 +17,14 @@ from repro.workloads.hpcc import hpcc_workload
 
 from ._common import emit
 
-
-def _policy_factories():
-    return {
-        "ampom": None,  # the real prefetcher
-        "fixed-8": lambda ctx: FixedReadAheadPolicy(
-            k=8, address_limit=ctx.address_space.total_pages
-        ),
-        "fixed-64": lambda ctx: FixedReadAheadPolicy(
-            k=64, address_limit=ctx.address_space.total_pages
-        ),
-        "linux-ra": lambda ctx: LinuxReadAheadPolicy(
-            address_limit=ctx.address_space.total_pages
-        ),
-    }
+POLICY_NAMES = ("ampom", "readahead-8", "readahead-64", "linux-readahead")
 
 
-def _run(kernel, mb, factory):
+def _run(kernel, mb, policy):
     workload = hpcc_workload(kernel, mb, scale=figures.DEFAULT_SCALE)
     run = MigrationRun(
         workload,
-        AmpomMigration(policy_factory=factory),
+        AmpomMigration(prefetch_policy=policy),
         config=figures.scaled_config(figures.DEFAULT_SCALE),
     )
     return run.execute()
@@ -46,8 +33,8 @@ def _run(kernel, mb, factory):
 def _sweep():
     rows = []
     for kernel, mb in (("STREAM", 230), ("RandomAccess", 129)):
-        for name, factory in _policy_factories().items():
-            r = _run(kernel, mb, factory)
+        for name in POLICY_NAMES:
+            r = _run(kernel, mb, name)
             rows.append(
                 (kernel, name, r.counters.page_fault_requests, r.total_time, r.wasted_pages)
             )
@@ -62,6 +49,6 @@ def bench_ablation_policy(benchmark):
     )
     data = {(k, p): (f, t) for k, p, f, t, _ in rows}
     # On STREAM, adaptive AMPoM is at least as good as a deep fixed window.
-    assert data[("STREAM", "ampom")][1] <= data[("STREAM", "fixed-8")][1] * 1.05
+    assert data[("STREAM", "ampom")][1] <= data[("STREAM", "readahead-8")][1] * 1.05
     # On STREAM, ampom prevents far more faults than an 8-page window.
-    assert data[("STREAM", "ampom")][0] < data[("STREAM", "fixed-8")][0]
+    assert data[("STREAM", "ampom")][0] < data[("STREAM", "readahead-8")][0]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.cluster.runner import MigrationRun
+from repro.core.policy import POLICIES
 from repro.core.vm_prefetcher import VmAmpomPrefetcher
 from repro.experiments import figures
 from repro.metrics.report import format_table
@@ -56,11 +57,12 @@ def _run(variant: str):
     elif variant == "AMPoM (eq.3 only)":
         strategy, config = AmpomMigration(), _config(0)
     elif variant == "VM-AMPoM (eq.3 only)":
-        strategy = AmpomMigration(
-            policy_factory=lambda ctx: VmAmpomPrefetcher(
-                ctx.ampom, ctx.hardware, workload.process_boundaries()
-            )
+        # Boundaries only the workload knows: register a closure under a
+        # registry name instead of the deprecated policy_factory hook.
+        POLICIES["vm-ampom"] = lambda ctx, w=workload: VmAmpomPrefetcher(
+            ctx.ampom, ctx.hardware, w.process_boundaries()
         )
+        strategy = AmpomMigration(prefetch_policy="vm-ampom")
         config = _config(0)
     else:  # "AMPoM + floor"
         strategy, config = AmpomMigration(), _config(8)

@@ -20,6 +20,7 @@ from repro import (
     VmAmpomPrefetcher,
     mib,
 )
+from repro.core.policy import POLICIES
 from repro.metrics.report import format_table
 from repro.workloads.synthetic import SequentialWorkload
 
@@ -47,11 +48,14 @@ def main() -> None:
     for name, strategy, cfg, special in variants:
         workload = make_vm()
         if special == "vm":
-            strategy = AmpomMigration(
-                policy_factory=lambda ctx: VmAmpomPrefetcher(
-                    ctx.ampom, ctx.hardware, workload.process_boundaries()
-                )
+            # VM-AMPoM needs the guest block boundaries, which only the
+            # workload knows — so register a closure in the policy
+            # registry and address it by name (the registry is the
+            # extension point for bespoke policies; see docs/POLICIES.md).
+            POLICIES["vm-ampom"] = lambda ctx, w=workload: VmAmpomPrefetcher(
+                ctx.ampom, ctx.hardware, w.process_boundaries()
             )
+            strategy = AmpomMigration(prefetch_policy="vm-ampom")
         result = MigrationRun(workload, strategy, config=cfg).execute()
         c = result.counters
         rows.append(

@@ -51,6 +51,9 @@ class GoldenScenario:
     #: seeded arrival stream under the named decentralized policy.
     preset: str = ""
     policy: str = ""
+    #: Named prefetch policy (see :data:`repro.core.policy.POLICIES`);
+    #: empty = the scheme's own default (AMPoM for the AMPoM scheme).
+    prefetch_policy: str = ""
 
     def header(self) -> dict:
         header = {
@@ -75,6 +78,10 @@ class GoldenScenario:
             # Likewise: only sustained-load scenarios carry these keys.
             header["preset"] = self.preset
             header["policy"] = self.policy
+        if self.prefetch_policy:
+            # Same discipline again: only policy-pinned scenarios carry
+            # the key, so every pre-existing golden file stays identical.
+            header["prefetch_policy"] = self.prefetch_policy
         return header
 
 
@@ -136,6 +143,18 @@ SCENARIOS: tuple[GoldenScenario, ...] = (
         "cluster_32_balanced", "arrival-stream", 0, "AMPoM",
         seed=11, preset="cluster_32", policy="balanced",
     ),
+    # Prefetch-policy arena members (see docs/POLICIES.md): the same
+    # AMPoM-freeze runs with a non-default policy pinned by name.  These
+    # pin the whole policy layer — registry resolution, the Leap stride
+    # detector's trend votes, and the Linux read-ahead window doubling.
+    GoldenScenario("dgemm_leap", "DGEMM", 115, "AMPoM", prefetch_policy="leap"),
+    GoldenScenario(
+        "randomaccess_leap", "RandomAccess", 129, "AMPoM", prefetch_policy="leap"
+    ),
+    GoldenScenario(
+        "stream_readahead", "STREAM", 115, "AMPoM",
+        prefetch_policy="linux-readahead",
+    ),
 )
 
 
@@ -148,6 +167,8 @@ def _scenario_config(scenario: GoldenScenario) -> SimulationConfig:
     config = figures.scaled_config(scenario.scale, seed=scenario.seed)
     if scenario.faults.active:
         config = config.with_(faults=scenario.faults)
+    if scenario.prefetch_policy:
+        config = config.with_(prefetch_policy=scenario.prefetch_policy)
     # Golden runs double as an invariant/oracle sweep; checks never alter
     # the recorded trace (they are pure observers).
     return config.with_(checks=CheckSpec(enabled=True))

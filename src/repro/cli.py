@@ -42,6 +42,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mb", type=float, required=True, help="program size in paper MB")
     run.add_argument("--scheme", choices=SCHEME_CHOICES, required=True)
     run.add_argument(
+        "--prefetch-policy",
+        default=None,
+        metavar="NAME",
+        help="prefetch policy to pair with the scheme (ampom, leap, "
+        "linux-readahead, readahead-<k>, noprefetch; see docs/POLICIES.md)",
+    )
+    run.add_argument(
         "--scale", type=float, default=figures.DEFAULT_SCALE, help="size scale factor"
     )
     run.add_argument(
@@ -491,6 +498,64 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allowed fractional score slowdown vs the baseline (default 0.25)",
     )
 
+    arena = sub.add_parser(
+        "arena",
+        help="prefetch-policy tournament across kernels, networks and faults",
+        description="Run every requested prefetch policy against every "
+        "workload kernel, network profile and fault plan under the invariant "
+        "checker, and print a deterministic comparison table (stall time, "
+        "prefetch accuracy, waste fraction, freeze p99).  Two runs of the "
+        "same tournament are byte-identical.  See docs/POLICIES.md.",
+    )
+    arena.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy names (default: ampom,leap,"
+        "linux-readahead,readahead-8,noprefetch)",
+    )
+    arena.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated HPCC kernels (default: all four)",
+    )
+    arena.add_argument(
+        "--profiles",
+        default=None,
+        help="comma-separated network profiles: lan, broadband (default: both)",
+    )
+    arena.add_argument(
+        "--fault-plans",
+        default=None,
+        help="comma-separated fault plans: none, lossy (default: both)",
+    )
+    arena.add_argument(
+        "--scale", type=float, default=1 / 16, help="size scale factor"
+    )
+    arena.add_argument("--seed", type=int, default=0)
+    arena.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes for the grid (a count, or 'auto' for one per "
+        "CPU; results are identical at any width)",
+    )
+    arena.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON report to PATH",
+    )
+    arena.add_argument(
+        "--figure",
+        default=None,
+        metavar="PATH",
+        help="also write the comparison figure as long-format CSV to PATH",
+    )
+    arena.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON on stdout instead of the table",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="span-traced runs with Perfetto/JSONL/flame export",
@@ -573,6 +638,21 @@ def _fault_spec_from_args(args: argparse.Namespace) -> FaultSpec:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = figures.scaled_config(args.scale, seed=args.seed)
+    if args.prefetch_policy is not None:
+        if args.scheme == "openMosix":
+            print(
+                "run: --prefetch-policy does not apply to openMosix (it copies "
+                "the whole address space at freeze and performs no remote paging)"
+            )
+            return 2
+        from .core.policy import parse_policy_name
+
+        try:
+            parse_policy_name(args.prefetch_policy)
+        except Exception as exc:
+            print(f"run: {exc}")
+            return 2
+        config = config.with_(prefetch_policy=args.prefetch_policy)
     if args.broadband:
         config = config.with_network(NetworkSpec.broadband())
     fault_spec = _fault_spec_from_args(args)
@@ -619,6 +699,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     c = result.counters
     print(f"kernel          : {args.kernel} ({args.mb:g} paper-MB x {args.scale:g})")
     print(f"scheme          : {args.scheme}")
+    if result.prefetch_policy:
+        print(f"prefetch policy : {result.prefetch_policy}")
     print(f"freeze time     : {result.freeze_time:.4f} s")
     print(f"run time        : {result.run_time:.4f} s")
     print(f"total time      : {result.total_time:.4f} s")
@@ -1240,6 +1322,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_arena(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .errors import ConfigurationError
+    from .experiments import arena
+
+    def split(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
+        if raw is None:
+            return default
+        return tuple(p.strip() for p in raw.split(",") if p.strip())
+
+    try:
+        report = arena.run_arena(
+            policies=split(args.policies, arena.DEFAULT_POLICIES),
+            kernels=split(args.kernels, tuple(arena.KERNEL_SIZES)),
+            profiles=split(args.profiles, ("lan", "broadband")),
+            fault_plans=split(args.fault_plans, ("none", "lossy")),
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    except ConfigurationError as exc:
+        print(f"arena: {exc}")
+        return 2
+    import sys
+
+    # Notices go to stderr so stdout carries nothing but the table (or
+    # JSON) — the CI determinism gate `cmp`s stdout across two runs whose
+    # only difference is the --out filename.
+    if args.out is not None:
+        written = arena.write_arena_json(report, args.out)
+        print(f"wrote {written}", file=sys.stderr)
+    if args.figure is not None:
+        written = arena.write_arena_csv(report, args.figure)
+        print(f"wrote {written}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(arena.arena_table(report))
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "slo":
         return _cmd_obs_slo(args)
@@ -1337,6 +1461,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "obs": _cmd_obs,
     "bench": _cmd_bench,
+    "arena": _cmd_arena,
 }
 
 

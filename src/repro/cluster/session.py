@@ -434,6 +434,11 @@ class ScenarioRuntime:
             home=migrant.path[0],
             path=migrant.path,
             batch_pool=self.batch_pool,
+            prefetch_policy=(
+                migrant.prefetch_policy
+                if migrant.prefetch_policy is not None
+                else self.config.prefetch_policy
+            ),
         )
 
     def _infod_for(self, dst: str, home: str) -> InfoDaemon:
@@ -926,6 +931,7 @@ class ScenarioRuntime:
                 else 0
             ),
             extra=dict(outcome.extra),
+            prefetch_policy=getattr(outcome.policy, "name", "") or "",
         )
         result.extra["killed"] = 1.0
         if checker is not None:
@@ -1062,14 +1068,27 @@ class ScenarioRuntime:
 
     @staticmethod
     def _finalize_metrics(metrics, result: ExecutionResult) -> None:
-        """Fold end-of-run prefetch accuracy/waste scalars into the registry."""
+        """Fold end-of-run prefetch accuracy/waste scalars into the registry.
+
+        Besides the aggregate counters, the accuracy/waste pair is also
+        recorded under a ``{policy="<name>"}``-labeled counter so multi-
+        policy sweeps (the arena) can tell the policies apart in one
+        registry.
+        """
         c = result.counters
         prefetched = c.pages_prefetched
         wasted = result.wasted_pages
         metrics.set_counter("pages_prefetched", float(prefetched))
         metrics.set_counter("pages_demand_fetched", float(c.pages_demand_fetched))
         metrics.set_counter("wasted_pages", float(wasted))
+        label = result.prefetch_policy or "none"
         if prefetched > 0:
             useful = max(prefetched - wasted, 0)
             metrics.set_counter("prefetch_accuracy", useful / prefetched)
             metrics.set_counter("prefetch_waste_fraction", wasted / prefetched)
+            metrics.set_counter(
+                f'prefetch_accuracy{{policy="{label}"}}', useful / prefetched
+            )
+            metrics.set_counter(
+                f'prefetch_waste_fraction{{policy="{label}"}}', wasted / prefetched
+            )

@@ -114,6 +114,11 @@ class SustainedLoadDriver(SchedulerDriver):
         from ..workloads.synthetic import SequentialWorkload
 
         cfg = config if config is not None else SimulationConfig()
+        if sustained.prefetch_policy is not None:
+            # The spec-level name wins over (and lands in) the config, so
+            # every migration the driver decides resolves the same policy
+            # through ScenarioRuntime's context threading.
+            cfg = cfg.with_(prefetch_policy=sustained.prefetch_policy)
         worker_nodes = tuple(n for n in graph.nodes if n != FILE_SERVER)
         if len(worker_nodes) < 2:
             raise ConfigurationError(

@@ -162,10 +162,18 @@ class MigrantSpec:
     capacity_pages: int | None = None
     fault_log: "FaultLog | None" = None
     name: str | None = None
+    #: Prefetch-policy name (:data:`repro.core.policy.POLICIES`) this
+    #: migrant resolves, overriding ``config.prefetch_policy`` but not a
+    #: name set on the strategy instance itself.
+    prefetch_policy: str | None = None
 
     def __post_init__(self) -> None:
         self.path = tuple(self.path)
         self.hop_delays = tuple(self.hop_delays)
+        if self.prefetch_policy is not None:
+            from ..core.policy import parse_policy_name
+
+            parse_policy_name(self.prefetch_policy)  # fail fast on typos
         if len(self.path) < 2:
             raise MigrationError(f"a migration path needs at least two nodes: {self.path}")
         if len(set(self.path)) != len(self.path):
@@ -221,6 +229,10 @@ class SustainedSpec:
     load_gap_threshold: int = 2
     #: Cadence of the utilization/migration-count samples in the report.
     sample_interval_s: float = 0.5
+    #: Prefetch-policy name every executed migration resolves (``None``
+    #: = the scheme's default; see :data:`repro.core.policy.POLICIES` —
+    #: distinct from ``policy``, the migration *trigger* policy above).
+    prefetch_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -232,6 +244,10 @@ class SustainedSpec:
             raise ConfigurationError(
                 f"unknown scheme {self.scheme!r}; pick one of {sorted(_SCHEMES)}"
             )
+        if self.prefetch_policy is not None:
+            from ..core.policy import parse_policy_name
+
+            parse_policy_name(self.prefetch_policy)
         for label, value in (
             ("balance_interval_s", self.balance_interval_s),
             ("gossip_interval_s", self.gossip_interval_s),
@@ -294,6 +310,10 @@ class ScenarioSpec:
             if node not in names:
                 raise MigrationError(f"background load on unknown node {node!r}")
         cfg = self.config if self.config is not None else SimulationConfig()
+        if cfg.prefetch_policy is not None:
+            from ..core.policy import parse_policy_name
+
+            parse_policy_name(cfg.prefetch_policy)
         if cfg.faults.active:
             for i, migrant in enumerate(self.migrants):
                 if _wants_file_server(migrant.strategy):
@@ -386,8 +406,12 @@ _SCHEMES: dict[str, str] = {
 }
 
 
-def make_strategy(scheme: str) -> "MigrationStrategy":
-    """Instantiate a migration strategy from its scheme name."""
+def make_strategy(scheme: str, prefetch_policy: str | None = None) -> "MigrationStrategy":
+    """Instantiate a migration strategy from its scheme name.
+
+    ``prefetch_policy`` names a :data:`repro.core.policy.POLICIES` entry
+    to pin on the instance (schemes that perform no remote paging reject
+    it at ``perform`` time)."""
     from .. import migration
 
     try:
@@ -396,7 +420,9 @@ def make_strategy(scheme: str) -> "MigrationStrategy":
         raise MigrationError(
             f"unknown scheme {scheme!r}; pick one of {sorted(_SCHEMES)}"
         )
-    return cls()
+    if prefetch_policy is None:
+        return cls()
+    return cls(prefetch_policy=prefetch_policy)
 
 
 #: Simulated run time before the three-hop presets re-migrate (seconds).
@@ -623,6 +649,7 @@ def scenario_from_dict(d: Mapping) -> ScenarioSpec:
         seed=int(d.get("seed", 0)),
         faults=FaultSpec(**d.get("faults", {})),
         node_faults=node_fault_spec,
+        prefetch_policy=d.get("prefetch_policy"),
     )
     migrants = tuple(
         MigrantSpec(
@@ -633,6 +660,7 @@ def scenario_from_dict(d: Mapping) -> ScenarioSpec:
             hop_delays=tuple(md.get("hop_delays", ())),
             with_infod=bool(md.get("with_infod", True)),
             name=md.get("name"),
+            prefetch_policy=md.get("prefetch_policy"),
         )
         for md in migrant_dicts
     )

@@ -666,12 +666,23 @@ class BatchedAnalysisPool:
     ``config.batch.enabled`` is set; each AMPoM migrant allocates a row in
     the engine matching its window geometry, so all concurrent migrants'
     window state lives in the same arrays.
+
+    Only AMPoM has a batched engine.  When a migrant resolves a
+    different prefetch policy while a pool is armed, the policy factory
+    quiesces that migrant to the scalar per-fault path and records why
+    in :attr:`quiesce_log` — the same contract ``REPRO_SHARD`` honours
+    with ``ShardPlan.sequential_reason``.
     """
 
-    __slots__ = ("_engines",)
+    __slots__ = ("_engines", "quiesce_log")
 
     def __init__(self) -> None:
         self._engines: dict[tuple[int, int], BatchedWindowEngine] = {}
+        #: ``(policy_name, reason)`` per scalar-path quiesce decision.
+        self.quiesce_log: list[tuple[str, str]] = []
+
+    def note_quiesce(self, policy: str, reason: str) -> None:
+        self.quiesce_log.append((policy, reason))
 
     def engine(self, length: int, dmax: int) -> BatchedWindowEngine:
         key = (length, dmax)

@@ -10,18 +10,30 @@ schemes of the paper's evaluation map onto:
 
 :class:`FixedReadAheadPolicy` and :class:`LinuxReadAheadPolicy` are the
 baseline policies used by the ablation benchmarks (section 5.3 likens
-AMPoM's fallback behaviour to a fixed-size read-ahead).
+AMPoM's fallback behaviour to a fixed-size read-ahead);
+:class:`repro.core.leap.LeapPrefetcher` is Leap's majority-trend stride
+detector (PAPERS.md).
+
+Policies are named: the :data:`POLICIES` registry maps a policy name to
+a factory taking a :class:`repro.migration.base.MigrationContext`, and
+:func:`make_prefetch_policy` is the one resolution point every
+migration strategy goes through.  ``prefetch_policy=`` on a strategy, a
+:class:`~repro.cluster.topology.MigrantSpec`, or the
+:class:`~repro.config.SimulationConfig` all name entries here, which is
+what makes scheme x policy an orthogonal grid (see docs/POLICIES.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
+from ..errors import ConfigurationError
 from ..mem.readahead import LinuxReadAhead
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..mem.residency import ResidencyTracker
+    from ..migration.base import MigrationContext
 
 
 @dataclass(frozen=True, slots=True)
@@ -136,3 +148,112 @@ class LinuxReadAheadPolicy:
         stop = min(vpn + 1 + k, self.address_limit)
         remote = residency.remote_set
         return [p for p in range(vpn + 1, stop) if p in remote]
+
+
+# ----------------------------------------------------------------------
+# the policy registry
+# ----------------------------------------------------------------------
+#: Pages a bare ``readahead`` policy name requests (``readahead-<k>``
+#: names any other fixed depth).
+DEFAULT_READAHEAD_PAGES = 8
+
+
+def _limit(ctx: "MigrationContext") -> int:
+    return ctx.address_space.total_pages
+
+
+def _make_ampom(ctx: "MigrationContext") -> PrefetchPolicy:
+    # Exactly the historical AmpomMigration branch: the batched engine
+    # when a pool is armed (REPRO_BATCH=1), the scalar per-fault pipeline
+    # otherwise.  Golden bit-identity depends on this being unchanged.
+    from .prefetcher import AMPoMPrefetcher
+
+    if ctx.batch_pool is not None:
+        return ctx.batch_pool.prefetcher(
+            ctx.ampom, ctx.hardware, address_limit=_limit(ctx)
+        )
+    return AMPoMPrefetcher(ctx.ampom, ctx.hardware, address_limit=_limit(ctx))
+
+
+def _make_leap(ctx: "MigrationContext") -> PrefetchPolicy:
+    from .leap import LeapPrefetcher
+
+    return LeapPrefetcher(ctx.hardware, address_limit=_limit(ctx))
+
+
+#: name -> factory(ctx).  ``ctx`` is the strategy's MigrationContext; a
+#: factory may read its ``ampom``/``hardware`` specs, the address space,
+#: and the batch pool.  Out-of-tree policies register here too.
+POLICIES: dict[str, Callable[["MigrationContext"], PrefetchPolicy]] = {
+    "noprefetch": lambda ctx: NoPrefetchPolicy(),
+    "ampom": _make_ampom,
+    "leap": _make_leap,
+    "readahead": lambda ctx: FixedReadAheadPolicy(
+        k=DEFAULT_READAHEAD_PAGES, address_limit=_limit(ctx)
+    ),
+    "linux-readahead": lambda ctx: LinuxReadAheadPolicy(address_limit=_limit(ctx)),
+}
+
+#: Policies the ``REPRO_BATCH`` engine can vectorize.  Every other
+#: analyzing policy quiesces to the scalar path (the reason is recorded
+#: on the pool, mirroring ``ShardPlan.sequential_reason``).
+BATCHED_POLICIES = frozenset({"ampom"})
+
+#: Policies that never analyze, so there is nothing to batch (and no
+#: quiesce worth recording).
+_NO_ANALYSIS = frozenset({"noprefetch"})
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted (plus ``readahead-<k>`` by pattern)."""
+    return tuple(sorted(POLICIES))
+
+
+def parse_policy_name(name: str) -> tuple[str, Callable[["MigrationContext"], PrefetchPolicy]]:
+    """Resolve ``name`` to ``(canonical_name, factory)`` or raise.
+
+    Beyond the literal registry entries, ``readahead-<k>`` names a
+    :class:`FixedReadAheadPolicy` of any depth ``k >= 1``.
+    """
+    factory = POLICIES.get(name)
+    if factory is not None:
+        return name, factory
+    if name.startswith("readahead-"):
+        try:
+            k = int(name.removeprefix("readahead-"))
+        except ValueError:
+            k = 0
+        if k >= 1:
+            return name, lambda ctx: FixedReadAheadPolicy(
+                k=k, address_limit=_limit(ctx)
+            )
+    known = ", ".join(available_policies())
+    raise ConfigurationError(
+        f"unknown prefetch policy {name!r}; known policies: {known} "
+        "(or readahead-<k>)"
+    )
+
+
+def make_prefetch_policy(name: str, ctx: "MigrationContext") -> PrefetchPolicy:
+    """Build the named prefetch policy for one migration.
+
+    When a batched analysis pool is armed (``REPRO_BATCH=1``) but the
+    named policy has no batched engine, the run quiesces to the scalar
+    per-fault path and the reason is recorded on the pool's
+    ``quiesce_log`` — the analogue of ``REPRO_SHARD``'s
+    ``sequential_reason``.
+    """
+    canonical, factory = parse_policy_name(name)
+    base = canonical.split("-")[0] if canonical.startswith("readahead-") else canonical
+    pool = getattr(ctx, "batch_pool", None)
+    if (
+        pool is not None
+        and canonical not in BATCHED_POLICIES
+        and base not in _NO_ANALYSIS
+    ):
+        pool.note_quiesce(
+            canonical,
+            f"policy {canonical!r} has no batched engine; "
+            "quiescing to the scalar per-fault path",
+        )
+    return factory(ctx)

@@ -48,6 +48,7 @@ class VmAmpomPrefetcher:
     """
 
     name = "vm-ampom"
+    needs_conditions = True
 
     def __init__(
         self,

@@ -225,6 +225,25 @@ def _run_cluster_sustained_telemetry(obs=None):
     return res
 
 
+def _run_arena(obs=None):
+    """A small prefetch-policy tournament (see docs/POLICIES.md): two
+    policies x two kernels under the invariant checker, the whole
+    registry-resolution and policy-executor path included.  The returned
+    summary is asserted non-degenerate on every timed run."""
+    from .arena import run_arena
+
+    report = run_arena(
+        policies=("ampom", "leap"),
+        kernels=("DGEMM", "RandomAccess"),
+        profiles=("lan",),
+        fault_plans=("none",),
+        scale=1 / 32,
+    )
+    assert len(report["cells"]) == 4
+    assert all(c["fault_requests"] > 0 for c in report["cells"])
+    return report
+
+
 #: name -> runner (optionally taking an Observability bundle); the first
 #: four are the same workloads as the pytest cases.
 CASES: dict[str, Callable[[], ExecutionResult]] = {
@@ -239,6 +258,7 @@ CASES: dict[str, Callable[[], ExecutionResult]] = {
     "cluster_sustained_telemetry": _run_cluster_sustained_telemetry,
     "batched_pipeline": _run_batched_pipeline,
     "cluster_300_smoke": _run_cluster_300_smoke,
+    "arena": _run_arena,
 }
 
 

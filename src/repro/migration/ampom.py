@@ -11,8 +11,9 @@ and prefetches through the origin's deputy.
 
 from __future__ import annotations
 
+import warnings
+
 from ..core.policy import PrefetchPolicy
-from ..core.prefetcher import AMPoMPrefetcher
 from ..mem.page_table import MasterPageTable
 from ..mem.residency import ResidencyTracker
 from .base import MigrationContext, MigrationOutcome, MigrationStrategy
@@ -21,10 +22,26 @@ from .base import MigrationContext, MigrationOutcome, MigrationStrategy
 class AmpomMigration(MigrationStrategy):
     name = "AMPoM"
 
-    def __init__(self, policy_factory=None) -> None:
-        """``policy_factory(ctx) -> PrefetchPolicy`` may override the
-        prefetch policy (used by the ablation benchmarks to pair AMPoM's
-        lightweight freeze with baseline policies)."""
+    def __init__(self, policy_factory=None, *, prefetch_policy: str | None = None) -> None:
+        """``prefetch_policy`` names a :data:`repro.core.policy.POLICIES`
+        entry to pair AMPoM's lightweight freeze (trio + MPT) with any
+        registered prefetch policy; the default is the adaptive AMPoM
+        analysis itself.
+
+        ``policy_factory(ctx) -> PrefetchPolicy`` is the deprecated
+        pre-registry override hook; it still wins over every named
+        policy so out-of-tree callers keep working, but new code should
+        pass ``prefetch_policy=`` or register a factory in ``POLICIES``.
+        """
+        super().__init__(prefetch_policy=prefetch_policy)
+        if policy_factory is not None:
+            warnings.warn(
+                "AmpomMigration(policy_factory=...) is deprecated; pass "
+                "prefetch_policy=<name> or register the factory in "
+                "repro.core.policy.POLICIES",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.policy_factory = policy_factory
 
     def perform(self, ctx: MigrationContext) -> MigrationOutcome:
@@ -53,14 +70,8 @@ class AmpomMigration(MigrationStrategy):
         policy: PrefetchPolicy
         if self.policy_factory is not None:
             policy = self.policy_factory(ctx)
-        elif ctx.batch_pool is not None:
-            policy = ctx.batch_pool.prefetcher(
-                ctx.ampom, hw, address_limit=ctx.address_space.total_pages
-            )
         else:
-            policy = AMPoMPrefetcher(
-                ctx.ampom, hw, address_limit=ctx.address_space.total_pages
-            )
+            policy = self._resolve_policy(ctx, default="ampom")
         service = self._make_deputy_service(ctx, hpt)
 
         return MigrationOutcome(

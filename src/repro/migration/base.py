@@ -312,6 +312,10 @@ class MigrationContext:
     #: has ``config.batch.enabled`` set; AMPoM migrants then allocate
     #: their window state as a row of the pool's shared arrays.
     batch_pool: "BatchedAnalysisPool | None" = None
+    #: Prefetch-policy name requested by the migrant spec or the
+    #: simulation config (``None`` = the strategy's own default).  A name
+    #: set directly on the strategy instance wins over this field.
+    prefetch_policy: str | None = None
 
     def existing_pages(self) -> set[int]:
         if self.premigration_pages is not None:
@@ -346,14 +350,37 @@ class MigrationOutcome:
 
 
 class MigrationStrategy(abc.ABC):
-    """Base class for migration mechanisms."""
+    """Base class for migration mechanisms.
+
+    ``prefetch_policy`` names an entry of
+    :data:`repro.core.policy.POLICIES` and overrides the scheme's
+    default remote-paging policy, making scheme x policy an orthogonal
+    grid.  Strategies that perform no remote paging (openMosix) reject
+    it.
+    """
 
     #: Scheme name as used in the paper's figures.
     name: str = "strategy"
+    #: Class-level default so subclasses with bespoke ``__init__``s that
+    #: predate the policy parameter still expose the attribute.
+    prefetch_policy: str | None = None
+
+    def __init__(self, prefetch_policy: str | None = None) -> None:
+        self.prefetch_policy = prefetch_policy
 
     @abc.abstractmethod
     def perform(self, ctx: MigrationContext) -> MigrationOutcome:
         """Execute the freeze-time protocol at ``ctx.sim.now``."""
+
+    def _resolve_policy(self, ctx: MigrationContext, default: str):
+        """The policy this migration runs: the strategy's own
+        ``prefetch_policy`` if set, else the context's (migrant spec or
+        config), else the scheme ``default`` — resolved through the
+        policy registry."""
+        from ..core.policy import make_prefetch_policy
+
+        name = self.prefetch_policy or ctx.prefetch_policy or default
+        return make_prefetch_policy(name, ctx)
 
     def rehop(self, ctx: MigrationContext, outcome: MigrationOutcome) -> None:
         """Re-migrate an already-migrated (and quiesced) process from

@@ -62,6 +62,9 @@ class ExecutionResult:
     #: the quantity section 5.6 argues AMPoM keeps small).
     wasted_pages: int = 0
     extra: dict[str, float] = field(default_factory=dict)
+    #: Name of the prefetch policy this run resolved ("" when the scheme
+    #: performs no remote paging, e.g. openMosix).
+    prefetch_policy: str = ""
 
     @property
     def total_time(self) -> float:
@@ -82,6 +85,7 @@ class ExecutionResult:
         return {
             "strategy": self.strategy,
             "workload": self.workload,
+            "prefetch_policy": self.prefetch_policy,
             "memory_bytes": self.memory_bytes,
             "freeze_time_s": self.freeze_time,
             "run_time_s": self.run_time,
@@ -431,6 +435,7 @@ class MigrantExecutor:
             counters=self.counters,
             wasted_pages=len(self._fetched - self._touched) if self.track_touched else 0,
             extra=dict(self.outcome.extra),
+            prefetch_policy=getattr(self.outcome.policy, "name", "") or "",
         )
         return self.result
 

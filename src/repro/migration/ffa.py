@@ -169,8 +169,6 @@ class FfaMigration(MigrationStrategy):
             deputy=deputy,
             paging_overhead_bytes=hw.remote_paging_overhead_bytes,
         )
-        from ..core.policy import NoPrefetchPolicy
-
         return MigrationOutcome(
             strategy=self.name,
             freeze_time=freeze_time,
@@ -179,7 +177,7 @@ class FfaMigration(MigrationStrategy):
             mpt=mpt,
             hpt=hpt,
             residency=residency,
-            policy=NoPrefetchPolicy(),
+            policy=self._resolve_policy(ctx, default="noprefetch"),
             page_service=service,
             extra={
                 "flush_complete_s": flush_complete - now,

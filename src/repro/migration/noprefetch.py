@@ -6,11 +6,13 @@ missing pages would be fetched (without prefetch) from the original node
 rather than from the file server".  Its freeze time is flat and minimal
 (figure 5) but every first touch costs a blocking round trip, which is the
 20-51% runtime penalty of figure 6.
+
+``prefetch_policy=`` pairs this minimal freeze with any registered
+policy (the scheme default stays pure demand paging).
 """
 
 from __future__ import annotations
 
-from ..core.policy import NoPrefetchPolicy
 from ..mem.page_table import MasterPageTable
 from ..mem.residency import ResidencyTracker
 from .base import MigrationContext, MigrationOutcome, MigrationStrategy
@@ -50,7 +52,7 @@ class NoPrefetchMigration(MigrationStrategy):
             mpt=mpt,
             hpt=hpt,
             residency=residency,
-            policy=NoPrefetchPolicy(),
+            policy=self._resolve_policy(ctx, default="noprefetch"),
             page_service=service,
         )
 

@@ -20,6 +20,13 @@ class OpenMosixMigration(MigrationStrategy):
     name = "openMosix"
 
     def perform(self, ctx: MigrationContext) -> MigrationOutcome:
+        if self.prefetch_policy is not None:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                "openMosix copies the whole address space at freeze and "
+                "performs no remote paging; prefetch_policy does not apply"
+            )
         now = ctx.sim.now
         hw = ctx.hardware
         channel = ctx.network.direction(ctx.src, ctx.dst)

@@ -1,0 +1,161 @@
+"""Unit + property tests for Leap's majority-trend stride detector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.core.leap import SUFFIX_START, LeapPrefetcher, majority_stride
+from repro.core.policy import LinkConditions, PrefetchPolicy
+from repro.errors import ConfigurationError
+from repro.mem.residency import ResidencyTracker
+
+HW = SimulationConfig().hardware
+COND = LinkConditions(rtt_s=0.001, available_bw_bps=1e7)
+
+
+def residency(n=10_000):
+    return ResidencyTracker(remote_pages=range(n), mapped_pages=())
+
+
+def make(**kwargs) -> LeapPrefetcher:
+    kwargs.setdefault("address_limit", 10_000)
+    return LeapPrefetcher(HW, **kwargs)
+
+
+def feed(policy: LeapPrefetcher, vpns, n=10_000):
+    res = residency(n)
+    out = []
+    for t, vpn in enumerate(vpns):
+        out.append(policy.on_fault(vpn, float(t), 1.0, res, COND))
+    return out
+
+
+# ----------------------------------------------------------------------
+# majority_stride
+# ----------------------------------------------------------------------
+class TestMajorityStride:
+    def test_empty_and_short(self):
+        assert majority_stride([]) is None
+        assert majority_stride([3]) == 3
+
+    def test_uniform_stride(self):
+        assert majority_stride([2] * 8) == 2
+
+    def test_majority_with_noise(self):
+        assert majority_stride([3, 3, 7, 3]) == 3
+
+    def test_tie_is_no_majority(self):
+        assert majority_stride([1, 2, 1, 2]) is None
+
+    def test_recent_suffix_wins_over_stale_history(self):
+        # Old stride 5, recent stride 1: the smallest suffix that shows a
+        # strict majority decides.
+        deltas = [5] * 20 + [1] * SUFFIX_START
+        assert majority_stride(deltas) == 1
+
+    @given(st.lists(st.integers(-64, 64), max_size=64))
+    def test_result_is_a_suffix_majority_or_none(self, deltas):
+        stride = majority_stride(deltas)
+        if stride is None:
+            return
+        # Some analysed suffix must contain the winner with strict majority.
+        w = SUFFIX_START
+        ok = False
+        while True:
+            window = deltas[-w:] if w < len(deltas) else deltas
+            if 2 * window.count(stride) > len(window):
+                ok = True
+                break
+            if w >= len(deltas):
+                break
+            w *= 2
+        assert ok
+
+
+# ----------------------------------------------------------------------
+# LeapPrefetcher
+# ----------------------------------------------------------------------
+class TestLeapPrefetcher:
+    def test_is_prefetch_policy(self):
+        policy = make()
+        assert isinstance(policy, PrefetchPolicy)
+        assert policy.name == "leap"
+        assert policy.needs_conditions is False
+        assert policy.analysis_time > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make(history=1)
+        with pytest.raises(ConfigurationError):
+            make(prefetch_pages=0)
+        with pytest.raises(ConfigurationError):
+            make(fallback_pages=0)
+        with pytest.raises(ConfigurationError):
+            make(hysteresis=0)
+
+    def test_first_fault_falls_back_to_readahead(self):
+        policy = make(fallback_pages=4)
+        out = feed(policy, [100])
+        assert out[0] == [101, 102, 103, 104]
+
+    def test_stride_detected_and_prefetched_along_trend(self):
+        policy = make(prefetch_pages=3)
+        out = feed(policy, [100, 103, 106, 109, 112, 115, 118])
+        assert out[-1] == [121, 124, 127]
+
+    def test_backward_stride(self):
+        policy = make(prefetch_pages=2)
+        out = feed(policy, [900, 897, 894, 891, 888, 885])
+        assert out[-1] == [882, 879]
+
+    def test_hysteresis_ignores_single_outlier(self):
+        policy = make(prefetch_pages=2, hysteresis=2)
+        feed(policy, [100, 103, 106, 109, 112, 115])
+        assert policy.trend == 3
+        # One wild fault: majority may flip for the smallest suffix, but
+        # an established trend needs `hysteresis` consecutive confirmations.
+        policy.on_fault(500, 10.0, 1.0, residency(), COND)
+        assert policy.trend == 3
+
+    def test_trend_flips_after_consecutive_votes(self):
+        policy = make(prefetch_pages=2, hysteresis=2)
+        feed(policy, [100, 103, 106, 109, 112])
+        assert policy.trend == 3
+        # A genuine new phase: stride 1, repeated well past the vote count.
+        feed(policy, [200, 201, 202, 203, 204, 205, 206, 207, 208, 209])
+        assert policy.trend == 1
+
+    def test_filters_mapped_and_out_of_range(self):
+        policy = make(address_limit=130, prefetch_pages=8)
+        res = ResidencyTracker(
+            remote_pages=set(range(130)) - {121}, mapped_pages={121}
+        )
+        for t, vpn in enumerate([100, 103, 106, 109, 112, 115, 118]):
+            out = policy.on_fault(vpn, float(t), 1.0, res, COND)
+        assert out == [124, 127]  # 121 mapped, 130+ out of range
+
+    def test_repeated_fault_on_same_page_records_no_delta(self):
+        policy = make()
+        feed(policy, [100, 100, 100])
+        assert policy.trend is None
+
+    @given(
+        st.lists(st.integers(0, 999), min_size=1, max_size=60),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_and_well_formed(self, vpns, k):
+        a = make(prefetch_pages=k, fallback_pages=k)
+        b = make(prefetch_pages=k, fallback_pages=k)
+        out_a = feed(a, vpns, n=1000)
+        out_b = feed(b, vpns, n=1000)
+        assert out_a == out_b  # pure function of the fault history
+        for vpn, picks in zip(vpns, out_a):
+            assert len(picks) <= k
+            assert len(set(picks)) == len(picks)
+            for p in picks:
+                assert 0 <= p < 1000
+                assert p != vpn

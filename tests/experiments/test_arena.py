@@ -1,0 +1,99 @@
+"""Tests for the prefetch-policy arena tournament."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.arena import (
+    DEFAULT_POLICIES,
+    arena_table,
+    run_arena,
+    write_arena_csv,
+    write_arena_json,
+)
+
+TINY = dict(
+    policies=("ampom", "noprefetch"),
+    kernels=("DGEMM",),
+    profiles=("lan",),
+    fault_plans=("none",),
+    scale=1 / 32,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_arena(**TINY)
+
+
+def test_grid_covers_every_cell(tiny_report):
+    assert len(tiny_report["cells"]) == 2
+    assert {c["policy"] for c in tiny_report["cells"]} == {"ampom", "noprefetch"}
+    assert set(tiny_report["summary"]) == {"ampom", "noprefetch"}
+
+
+def test_cells_resolve_their_policy(tiny_report):
+    for cell in tiny_report["cells"]:
+        assert cell["resolved_policy"] == cell["policy"]
+
+
+def test_prefetching_beats_demand_paging(tiny_report):
+    s = tiny_report["summary"]
+    assert s["ampom"]["stall_s"] < s["noprefetch"]["stall_s"]
+    assert s["noprefetch"]["prefetch_accuracy"] == 0.0
+
+
+def test_deterministic_across_runs(tiny_report):
+    again = run_arena(**TINY)
+    assert json.dumps(tiny_report, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+
+def test_deterministic_across_job_widths(tiny_report):
+    wide = run_arena(**TINY, jobs=2)
+    assert json.dumps(tiny_report, sort_keys=True) == json.dumps(wide, sort_keys=True)
+
+
+def test_table_shape(tiny_report):
+    table = arena_table(tiny_report)
+    assert "policy" in table and "freeze p99 s" in table
+    # one line per cell + per policy, plus headers/rules/blank separator
+    assert len(table.splitlines()) == 2 + 2 + 2 + 2 + 1
+
+
+def test_figure_csv(tiny_report, tmp_path):
+    path = write_arena_csv(tiny_report, tmp_path / "arena.csv")
+    lines = path.read_text().splitlines()
+    assert lines[0] == "policy,kernel,profile,fault_plan,metric,value"
+    assert len(lines) == 1 + len(tiny_report["cells"]) * 5
+
+
+def test_json_report_roundtrips(tiny_report, tmp_path):
+    path = write_arena_json(tiny_report, tmp_path / "arena.json")
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(tiny_report, sort_keys=True)
+    )
+
+
+def test_default_policy_lineup_is_valid():
+    from repro.core.policy import parse_policy_name
+
+    for name in DEFAULT_POLICIES:
+        parse_policy_name(name)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(policies=("bogus",)),
+        dict(kernels=("NOPE",)),
+        dict(profiles=("dialup",)),
+        dict(fault_plans=("armageddon",)),
+    ],
+)
+def test_unknown_axis_values_rejected(kwargs):
+    merged = {**TINY, **kwargs}
+    with pytest.raises(ConfigurationError):
+        run_arena(**merged)

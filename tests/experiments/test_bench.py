@@ -41,6 +41,7 @@ class TestHarness:
             "cluster_sustained_telemetry",
             "batched_pipeline",
             "cluster_300_smoke",
+            "arena",
         }
 
     def test_traced_case_runs_with_obs_armed(self):

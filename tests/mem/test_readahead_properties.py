@@ -1,0 +1,86 @@
+"""Property tests for the Linux-style read-ahead baseline.
+
+Complements the unit tests in ``test_readahead.py``: Hypothesis drives
+arbitrary access streams through :class:`LinuxReadAhead` and checks the
+window's doubling/collapse invariants, and arbitrary (vpn, count, limit)
+triples through :func:`sequential_successors` and checks its bounds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.readahead import LinuxReadAhead, sequential_successors
+
+
+# ----------------------------------------------------------------------
+# sequential_successors
+# ----------------------------------------------------------------------
+@given(
+    vpn=st.integers(0, 10_000),
+    count=st.integers(0, 512),
+    limit=st.integers(1, 10_000),
+)
+def test_successors_bounds(vpn, count, limit):
+    pages = list(sequential_successors(vpn, count, limit))
+    assert len(pages) <= count
+    assert pages == sorted(set(pages))  # strictly increasing, no dups
+    for p in pages:
+        assert vpn < p < limit
+
+
+@given(vpn=st.integers(0, 1000), count=st.integers(0, 64))
+def test_successors_exact_when_unbounded(vpn, count):
+    pages = list(sequential_successors(vpn, count, limit=vpn + count + 1))
+    assert pages == list(range(vpn + 1, vpn + 1 + count))
+
+
+# ----------------------------------------------------------------------
+# LinuxReadAhead
+# ----------------------------------------------------------------------
+WINDOW_PARAMS = st.integers(1, 6).flatmap(
+    lambda lo_exp: st.integers(0, 4).map(lambda extra: (2**lo_exp, 2 ** (lo_exp + extra)))
+)
+
+
+@given(params=WINDOW_PARAMS, accesses=st.lists(st.integers(0, 50), max_size=60))
+def test_window_always_within_bounds(params, accesses):
+    min_pages, max_pages = params
+    ra = LinuxReadAhead(min_pages=min_pages, max_pages=max_pages)
+    for vpn in accesses:
+        size = ra.on_access(vpn)
+        assert size == ra.window
+        assert min_pages <= size <= max_pages
+
+
+@given(params=WINDOW_PARAMS, start=st.integers(0, 1000), steps=st.integers(1, 20))
+def test_sequential_run_doubles_until_cap(params, start, steps):
+    min_pages, max_pages = params
+    ra = LinuxReadAhead(min_pages=min_pages, max_pages=max_pages)
+    expected = min_pages
+    ra.on_access(start)
+    assert ra.window == min_pages  # first access never grows the window
+    for i in range(1, steps + 1):
+        expected = min(expected * 2, max_pages)
+        assert ra.on_access(start + i) == expected
+
+
+@given(params=WINDOW_PARAMS, accesses=st.lists(st.integers(0, 50), min_size=1, max_size=30))
+def test_any_seek_collapses_to_minimum(params, accesses):
+    min_pages, max_pages = params
+    ra = LinuxReadAhead(min_pages=min_pages, max_pages=max_pages)
+    for vpn in accesses:
+        ra.on_access(vpn)
+    last = accesses[-1]
+    assert ra.on_access(last + 2) == min_pages  # a 2-page jump is a seek
+    # ...and the stream has to re-earn the deep window from the bottom.
+    assert ra.on_access(last + 3) == min(min_pages * 2, max_pages)
+
+
+@given(params=WINDOW_PARAMS, accesses=st.lists(st.integers(0, 50), max_size=40))
+def test_deterministic_replay(params, accesses):
+    min_pages, max_pages = params
+    a = LinuxReadAhead(min_pages=min_pages, max_pages=max_pages)
+    b = LinuxReadAhead(min_pages=min_pages, max_pages=max_pages)
+    assert [a.on_access(v) for v in accesses] == [b.on_access(v) for v in accesses]

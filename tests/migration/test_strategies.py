@@ -36,6 +36,13 @@ class TestOpenMosix:
         setup = config.hardware.migration_setup_time
         assert (large - setup) / (small - setup) > 8
 
+    def test_rejects_prefetch_policy(self, sim, config):
+        from repro.errors import ConfigurationError
+
+        ctx, _ = make_context(sim, config)
+        with pytest.raises(ConfigurationError, match="prefetch_policy"):
+            OpenMosixMigration(prefetch_policy="leap").perform(ctx)
+
     def test_bytes_cover_dirty_pages(self, sim, config):
         ctx, _ = make_context(sim, config, n_pages=64)
         outcome = OpenMosixMigration().perform(ctx)
@@ -92,10 +99,36 @@ class TestAmpom:
             ctx.address_space.total_pages - 3
         )
 
-    def test_policy_factory_override(self, sim, config):
+    def test_policy_factory_override_deprecated_but_functional(self, sim, config):
         ctx, _ = make_context(sim, config)
-        outcome = AmpomMigration(policy_factory=lambda c: NoPrefetchPolicy()).perform(ctx)
+        with pytest.warns(DeprecationWarning, match="policy_factory"):
+            strategy = AmpomMigration(policy_factory=lambda c: NoPrefetchPolicy())
+        outcome = strategy.perform(ctx)
         assert isinstance(outcome.policy, NoPrefetchPolicy)
+
+    def test_prefetch_policy_name_override(self, sim, config):
+        from repro.core.leap import LeapPrefetcher
+
+        ctx, _ = make_context(sim, config)
+        outcome = AmpomMigration(prefetch_policy="leap").perform(ctx)
+        assert isinstance(outcome.policy, LeapPrefetcher)
+
+    def test_context_policy_used_when_strategy_has_none(self, sim, config):
+        ctx, _ = make_context(sim, config)
+        ctx.prefetch_policy = "noprefetch"
+        outcome = AmpomMigration().perform(ctx)
+        assert isinstance(outcome.policy, NoPrefetchPolicy)
+
+    def test_strategy_policy_wins_over_context(self, sim, config):
+        ctx, _ = make_context(sim, config)
+        ctx.prefetch_policy = "noprefetch"
+        outcome = AmpomMigration(prefetch_policy="ampom").perform(ctx)
+        assert isinstance(outcome.policy, AMPoMPrefetcher)
+
+    def test_default_resolves_to_real_prefetcher(self, sim, config):
+        ctx, _ = make_context(sim, config)
+        outcome = AmpomMigration().perform(ctx)
+        assert isinstance(outcome.policy, AMPoMPrefetcher)
 
 
 class TestFfa:
